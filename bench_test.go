@@ -1,0 +1,221 @@
+// Benchmarks that regenerate the paper's tables and figures, one per
+// artifact (see DESIGN.md's per-experiment index). Each benchmark runs the
+// corresponding experiment over the full evaluation suite and reports the
+// figure's headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. cmd/dpbench prints the same results as
+// human-readable tables.
+package doubleplay_test
+
+import (
+	"testing"
+
+	"doubleplay/internal/exp"
+)
+
+func benchCfg() exp.Config { return exp.Config{Seed: 11} }
+
+// BenchmarkTable1Characteristics regenerates T1: per-workload instruction,
+// sync-op, syscall, and page counts.
+func BenchmarkTable1Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Table1(benchCfg())
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+		var instrs int64
+		for _, r := range rows {
+			instrs += r.Retired
+		}
+		b.ReportMetric(float64(instrs)/float64(len(rows)), "instrs/workload")
+	}
+}
+
+// BenchmarkFigOverheadSpare2 regenerates F1 — the paper's headline: with
+// spare cores and 2 worker threads, logging overhead averages ~15%.
+func BenchmarkFigOverheadSpare2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Overhead(benchCfg(), 2, 2)
+		b.ReportMetric(exp.MeanOverhead(rows)*100, "overhead_%")
+	}
+}
+
+// BenchmarkFigOverheadSpare4 regenerates F2 — with 4 worker threads the
+// paper reports ~28% average logging overhead.
+func BenchmarkFigOverheadSpare4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Overhead(benchCfg(), 4, 4)
+		b.ReportMetric(exp.MeanOverhead(rows)*100, "overhead_%")
+	}
+}
+
+// BenchmarkFigOverheadUtilized regenerates F3: with no spare cores both
+// executions share the worker cores and overhead approaches 2x.
+func BenchmarkFigOverheadUtilized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows2 := exp.Overhead(benchCfg(), 2, 0)
+		rows4 := exp.Overhead(benchCfg(), 4, 0)
+		b.ReportMetric(exp.MeanOverhead(rows2)*100, "overhead2_%")
+		b.ReportMetric(exp.MeanOverhead(rows4)*100, "overhead4_%")
+	}
+}
+
+// BenchmarkTableLogSize regenerates T2: replay-log bytes per million guest
+// instructions, DoublePlay vs CREW page-ownership logging.
+func BenchmarkTableLogSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.LogSize(benchCfg())
+		var dp, crew float64
+		for _, r := range rows {
+			dp += r.DPPerM
+			crew += r.CrewPerM
+		}
+		b.ReportMetric(dp/float64(len(rows)), "dp_B/Minstr")
+		b.ReportMetric(crew/float64(len(rows)), "crew_B/Minstr")
+	}
+}
+
+// BenchmarkFigReplaySpeed regenerates F4: sequential replay costs ~W× while
+// epoch-parallel replay is near-native.
+func BenchmarkFigReplaySpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.ReplaySpeed(benchCfg(), 4)
+		var seq, par float64
+		for _, r := range rows {
+			seq += r.SeqRatio
+			par += r.ParRatio
+		}
+		b.ReportMetric(seq/float64(len(rows)), "seq_x")
+		b.ReportMetric(par/float64(len(rows)), "par_x")
+	}
+}
+
+// BenchmarkFigEpochSweep regenerates F5: overhead against epoch length —
+// the U-shaped trade-off between checkpoint cost and pipeline drain.
+func BenchmarkFigEpochSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.EpochSweep(benchCfg())
+		best, worst := rows[0].Overhead, rows[0].Overhead
+		for _, r := range rows {
+			if r.Overhead < best {
+				best = r.Overhead
+			}
+			if r.Overhead > worst {
+				worst = r.Overhead
+			}
+		}
+		b.ReportMetric(best*100, "best_%")
+		b.ReportMetric(worst*100, "worst_%")
+	}
+}
+
+// BenchmarkTableDivergence regenerates T3: divergence rates, forward
+// recoveries, and replay fidelity on racy programs.
+func BenchmarkTableDivergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Divergence(benchCfg(), 6)
+		var div, epochs, replays, seeds int
+		for _, r := range rows {
+			div += r.Divergences
+			epochs += r.Epochs
+			replays += r.ReplaysOK
+			seeds += r.Seeds
+		}
+		if replays != seeds {
+			b.Fatalf("replay fidelity broken: %d/%d", replays, seeds)
+		}
+		b.ReportMetric(float64(div), "divergences")
+		b.ReportMetric(float64(div)/float64(epochs)*100, "diverged_epochs_%")
+	}
+}
+
+// BenchmarkFigSpareCores regenerates F6: overhead as spare cores vary —
+// sharp improvement until spares reach the worker count, flat beyond.
+func BenchmarkFigSpareCores(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.SpareSweep(benchCfg())
+		var at4, at8 float64
+		n4, n8 := 0, 0
+		for _, r := range rows {
+			switch r.Spares {
+			case 4:
+				at4 += r.Overhead
+				n4++
+			case 8:
+				at8 += r.Overhead
+				n8++
+			}
+		}
+		b.ReportMetric(at4/float64(n4)*100, "spares4_%")
+		b.ReportMetric(at8/float64(n8)*100, "spares8_%")
+	}
+}
+
+// BenchmarkTableUniprocessorBaseline regenerates T4: classic uniprocessor
+// record/replay slows W-thread programs ~W×; DoublePlay does not.
+func BenchmarkTableUniprocessorBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.UniBaseline(benchCfg(), 4)
+		var uni, dp float64
+		for _, r := range rows {
+			uni += r.UniSlowdown
+			dp += r.DPOverhead
+		}
+		b.ReportMetric(uni/float64(len(rows)), "uni_slowdown_x")
+		b.ReportMetric(dp/float64(len(rows))*100, "dp_overhead_%")
+	}
+}
+
+// BenchmarkAblationAdaptiveEpochs contrasts fixed against growing epoch
+// lengths: early divergence-detection latency shrinks 4x while steady-state
+// overhead stays close to the fixed configuration.
+func BenchmarkAblationAdaptiveEpochs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Adaptive(benchCfg())
+		var fixed, grown float64
+		for _, r := range rows {
+			fixed += r.FixedOverhead
+			grown += r.GrownOverhead
+		}
+		b.ReportMetric(fixed/float64(len(rows))*100, "fixed_%")
+		b.ReportMetric(grown/float64(len(rows))*100, "adaptive_%")
+	}
+}
+
+// BenchmarkExtensionSparseReplay studies the checkpoint-memory vs
+// replay-parallelism trade-off of segment-parallel replay.
+func BenchmarkExtensionSparseReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.SparseReplay(benchCfg())
+		var fullPages, thinPages int64
+		for _, r := range rows {
+			switch r.Stride {
+			case 1:
+				fullPages += r.KeptPages
+			case 8:
+				thinPages += r.KeptPages
+			}
+		}
+		b.ReportMetric(float64(fullPages), "pages_stride1")
+		b.ReportMetric(float64(thinPages), "pages_stride8")
+	}
+}
+
+// BenchmarkAblationSyncEnforcement regenerates the DESIGN.md ablation:
+// divergence counts with the sync-order gate disabled.
+func BenchmarkAblationSyncEnforcement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Ablation(benchCfg())
+		withGate, noGate := 0, 0
+		for _, r := range rows {
+			withGate += r.DivWithGate
+			noGate += r.DivNoGate
+		}
+		if withGate != 0 {
+			b.Fatalf("race-free suite diverged with the gate: %d", withGate)
+		}
+		b.ReportMetric(float64(noGate), "divergences_without_gate")
+	}
+}

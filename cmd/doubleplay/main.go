@@ -1,0 +1,243 @@
+// Command doubleplay records, replays, verifies, and inspects executions of
+// the builtin benchmark suite.
+//
+// Usage:
+//
+//	doubleplay list
+//	doubleplay record  -w pbzip -workers 4 -spares 4 -o pbzip.dplog
+//	doubleplay replay  -w pbzip -workers 4 -log pbzip.dplog [-parallel]
+//	doubleplay verify  -w pbzip -workers 4          # record + both replays in memory
+//	doubleplay inspect -log pbzip.dplog
+//	doubleplay disasm  -w fft
+//	doubleplay races   -w webserve-racy -workers 4  # happens-before race report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"doubleplay/internal/asm"
+	"doubleplay/internal/core"
+	"doubleplay/internal/dplog"
+	"doubleplay/internal/race"
+	"doubleplay/internal/replay"
+	"doubleplay/internal/sched"
+	"doubleplay/internal/simos"
+	"doubleplay/internal/vm"
+	"doubleplay/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		wlName   = fs.String("w", "", "workload name (see 'doubleplay list')")
+		workers  = fs.Int("workers", 2, "guest worker threads")
+		spares   = fs.Int("spares", 0, "spare cores for the epoch pipeline (default: workers)")
+		scale    = fs.Int("scale", 1, "problem size multiplier")
+		seed     = fs.Int64("seed", 11, "input/timing seed")
+		epochLen = fs.Int64("epoch", core.DefaultEpochCycles, "epoch length in cycles")
+		logPath  = fs.String("log", "", "recording file to read")
+		outPath  = fs.String("o", "", "recording file to write")
+		parallel = fs.Bool("parallel", false, "replay epochs in parallel (verify-time only)")
+		stride   = fs.Int("stride", 0, "also verify sparse segment-parallel replay with this checkpoint stride")
+		detect   = fs.Bool("detect-races", false, "run the happens-before detector during recording")
+		growth   = fs.Float64("growth", 1, "adaptive epoch growth factor (>1 enables)")
+	)
+	fs.Parse(args)
+	if *spares == 0 {
+		*spares = *workers
+	}
+
+	switch cmd {
+	case "list":
+		for _, w := range workloads.All() {
+			racy := ""
+			if w.Racy {
+				racy = " [racy]"
+			}
+			fmt.Printf("%-14s %-10s%s %s\n", w.Name, w.Kind, racy, w.Desc)
+		}
+
+	case "record":
+		bt := mustBuild(*wlName, *workers, *scale, *seed)
+		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect)
+		printStats(*wlName, res)
+		printRaces(res)
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			check(err)
+			check(dplog.Marshal(f, res.Recording))
+			check(f.Close())
+			fmt.Printf("wrote %s (%d bytes replay log)\n", *outPath, res.Stats.ReplayBytes)
+		}
+
+	case "replay":
+		bt := mustBuild(*wlName, *workers, *scale, *seed)
+		if *logPath == "" {
+			fatal("replay requires -log (or use 'verify' for an in-memory round trip)")
+		}
+		f, err := os.Open(*logPath)
+		check(err)
+		rec, err := dplog.Unmarshal(f)
+		check(err)
+		check(f.Close())
+		rep, err := replay.Sequential(bt.Prog, rec, nil)
+		check(err)
+		fmt.Printf("replayed %d epochs in %d simulated cycles; final hash %016x verified\n",
+			rep.Epochs, rep.Cycles, rep.FinalHash)
+
+	case "verify":
+		bt := mustBuild(*wlName, *workers, *scale, *seed)
+		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect)
+		printStats(*wlName, res)
+		printRaces(res)
+		seq, err := replay.Sequential(bt.Prog, res.Recording, nil)
+		check(err)
+		fmt.Printf("sequential replay: OK (%d cycles)\n", seq.Cycles)
+		if *parallel {
+			par, err := replay.Parallel(bt.Prog, res.Recording, res.Boundaries, *workers, nil)
+			check(err)
+			fmt.Printf("parallel replay:   OK (%d cycles on %d cores)\n", par.Cycles, *workers)
+		}
+		if *stride > 1 {
+			sparse := res.ThinBoundaries(*stride)
+			sp, err := replay.ParallelSparse(bt.Prog, res.Recording, sparse, *workers, nil)
+			check(err)
+			fmt.Printf("sparse replay:     OK (stride %d, %d of %d checkpoints kept, %d cycles)\n",
+				*stride, len(sparse), len(res.Recording.Epochs)+1, sp.Cycles)
+		}
+		last := res.Boundaries[len(res.Boundaries)-1]
+		if err := bt.CheckOK(last.CP.MemSnap.Peek); err != nil {
+			fatal(err.Error())
+		}
+		fmt.Println("guest self-check:  OK")
+
+	case "inspect":
+		if *logPath == "" {
+			fatal("inspect requires -log")
+		}
+		f, err := os.Open(*logPath)
+		check(err)
+		rec, err := dplog.Unmarshal(f)
+		check(err)
+		check(f.Close())
+		fmt.Println(rec)
+		for _, ep := range rec.Epochs {
+			fmt.Printf("  epoch %3d: %4d slices, %4d syscalls, %2d signals, %4d sync ops, %d threads, end %016x commit %016x\n",
+				ep.Index, len(ep.Schedule), len(ep.Syscalls), len(ep.Signals), len(ep.SyncOrder), len(ep.Targets), ep.EndHash, ep.CommitHash)
+		}
+
+	case "disasm":
+		bt := mustBuild(*wlName, *workers, *scale, *seed)
+		fmt.Print(asm.Disassemble(bt.Prog))
+
+	case "races":
+		bt := mustBuild(*wlName, *workers, *scale, *seed)
+		det := race.NewDetector(0)
+		m := vm.NewMachine(bt.Prog, simos.NewOS(bt.World), nil)
+		m.Hooks.OnSync = det.OnSync
+		m.Hooks.OnMemAccess = det.OnMemAccess
+		uni := sched.NewUni(m)
+		check(uni.Run())
+		reports := det.Races()
+		if len(reports) == 0 {
+			fmt.Println("no data races detected")
+			return
+		}
+		fmt.Printf("%d racy addresses:\n", len(reports))
+		for _, r := range reports {
+			fmt.Println("  " + r.String())
+		}
+
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func mustBuild(name string, workers, scale int, seed int64) *workloads.Built {
+	if name == "" {
+		fatal("missing -w <workload>; see 'doubleplay list'")
+	}
+	wl := workloads.Get(name)
+	if wl == nil {
+		fatal(fmt.Sprintf("unknown workload %q; see 'doubleplay list'", name))
+	}
+	return wl.Build(workloads.Params{Workers: workers, Scale: scale, Seed: seed})
+}
+
+func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, growth float64, detect bool) *core.Result {
+	res, err := core.Record(bt.Prog, bt.World, core.Options{
+		Workers:     workers,
+		RecordCPUs:  workers,
+		SpareCPUs:   spares,
+		EpochCycles: epochLen,
+		Seed:        seed,
+		EpochGrowth: growth,
+		DetectRaces: detect,
+	})
+	check(err)
+	return res
+}
+
+func printRaces(res *core.Result) {
+	if res.Races == nil {
+		return
+	}
+	fmt.Printf("  races: %d racy addresses detected during recording\n", len(res.Races))
+	for i, r := range res.Races {
+		if i == 5 {
+			fmt.Printf("    ...\n")
+			break
+		}
+		fmt.Printf("    %s\n", r)
+	}
+}
+
+func printStats(name string, res *core.Result) {
+	s := res.Stats
+	fmt.Printf("recorded %s: %d epochs, %d instrs, %d syscalls, %d sync ops, %d slices\n",
+		name, s.Epochs, s.Retired, s.Syscalls, s.SyncEvents, s.Slices)
+	fmt.Printf("  time: thread-parallel %d cyc, completion %d cyc; divergences %d (adopt %d, rerun %d)\n",
+		s.ThreadParallelCycles, s.CompletionCycles, s.Divergences, s.HashRecoveries, s.RerunRecoveries)
+	fmt.Printf("  log: %d bytes replay, %d bytes with sync order\n", s.ReplayBytes, s.FullBytes)
+	for _, d := range res.Divergences {
+		switch d.Kind {
+		case "state":
+			fmt.Printf("  divergence @epoch %d: states disagreed on pages %v\n", d.Epoch, d.Pages)
+		default:
+			fmt.Printf("  divergence @epoch %d: %s\n", d.Epoch, d.Reason)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err.Error())
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "doubleplay: "+msg)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: doubleplay <command> [flags]
+
+commands:
+  list     show the builtin benchmark suite
+  record   record a workload (optionally -o file.dplog)
+  replay   replay a recording from -log against a rebuilt workload
+  verify   record + replay in memory, checking every hash and the guest self-check
+  inspect  print a recording's per-epoch log structure
+  disasm   disassemble a workload's guest program
+  races    run the happens-before detector over a workload`)
+}

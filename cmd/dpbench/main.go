@@ -1,0 +1,87 @@
+// Command dpbench regenerates the paper's tables and figures from the
+// simulator. Each experiment prints the rows the corresponding table or
+// figure in the DoublePlay evaluation reports; EXPERIMENTS.md records a
+// reference run.
+//
+// Usage:
+//
+//	dpbench -exp all
+//	dpbench -exp overhead2          # F1: overhead with spare cores, 2 threads
+//	dpbench -exp overhead4 -seed 7  # F2 with a different seed
+//	dpbench -list                   # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"doubleplay/internal/exp"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment to run (see -list)")
+		seed    = flag.Int64("seed", 11, "input/timing seed")
+		scale   = flag.Int("scale", 1, "problem size multiplier")
+		seeds   = flag.Int("seeds", 12, "seed count for the divergence experiment")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	type runner struct {
+		name, desc string
+		run        func(cfg exp.Config)
+	}
+	w := os.Stdout
+	runners := []runner{
+		{"table1", "T1: benchmark characteristics", func(c exp.Config) { exp.RenderTable1(w, c) }},
+		{"overhead2", "F1: logging overhead with spare cores, 2 worker threads", func(c exp.Config) {
+			exp.RenderOverhead(w, c, 2, 2, "F1: logging overhead with spare cores (2 threads)")
+		}},
+		{"overhead4", "F2: logging overhead with spare cores, 4 worker threads", func(c exp.Config) {
+			exp.RenderOverhead(w, c, 4, 4, "F2: logging overhead with spare cores (4 threads)")
+		}},
+		{"utilized", "F3: overhead with no spare cores (both runs share the cores)", func(c exp.Config) {
+			exp.RenderOverhead(w, c, 2, 0, "F3a: overhead, utilized machine (2 threads)")
+			exp.RenderOverhead(w, c, 4, 0, "F3b: overhead, utilized machine (4 threads)")
+		}},
+		{"logsize", "T2: log sizes vs CREW order logging", func(c exp.Config) { exp.RenderLogSize(w, c) }},
+		{"replay", "F4: replay speed, sequential vs epoch-parallel", func(c exp.Config) {
+			exp.RenderReplaySpeed(w, c, 2)
+			exp.RenderReplaySpeed(w, c, 4)
+		}},
+		{"epochsweep", "F5: overhead vs epoch length", func(c exp.Config) { exp.RenderEpochSweep(w, c) }},
+		{"divergence", "T3: divergences and forward recovery on racy programs", func(c exp.Config) {
+			exp.RenderDivergence(w, c, *seeds)
+		}},
+		{"sparesweep", "F6: overhead vs spare cores", func(c exp.Config) { exp.RenderSpareSweep(w, c) }},
+		{"unibase", "T4: uniprocessor record/replay baseline", func(c exp.Config) {
+			exp.RenderUniBaseline(w, c, 2)
+			exp.RenderUniBaseline(w, c, 4)
+		}},
+		{"ablation", "Ablation: sync-order enforcement on/off", func(c exp.Config) { exp.RenderAblation(w, c) }},
+		{"adaptive", "Ablation: fixed vs adaptive epoch length", func(c exp.Config) { exp.RenderAdaptive(w, c) }},
+		{"sparse", "Extension: checkpoint retention vs segment-parallel replay speed", func(c exp.Config) { exp.RenderSparseReplay(w, c) }},
+	}
+
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-12s %s\n", r.name, r.desc)
+		}
+		return
+	}
+
+	cfg := exp.Config{Seed: *seed, Scale: *scale}
+	ran := false
+	for _, r := range runners {
+		if *expName == "all" || *expName == r.name {
+			r.run(cfg)
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "dpbench: unknown experiment %q (try -list)\n", *expName)
+		os.Exit(2)
+	}
+}

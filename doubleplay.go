@@ -1,0 +1,203 @@
+// Package doubleplay is the public façade of the DoublePlay reproduction:
+// deterministic record/replay for multithreaded programs on a simulated
+// multiprocessor, using uniparallelism (Veeraraghavan et al., ASPLOS 2011).
+//
+// # Model
+//
+// Guest programs are written against the asm builder ([NewProgram]) and run
+// on a deterministic bytecode multiprocessor with threads, locks, barriers,
+// atomics, and a simulated OS ([NewWorld]) providing files, sockets, a
+// clock, and a PRNG.
+//
+// [Record] performs a uniparallel recording: a thread-parallel execution
+// generates epoch checkpoints while an epoch-parallel execution — each
+// epoch's threads timesliced on one CPU, epochs pipelined across spare
+// cores — produces the actual replay log: per-epoch timeslice schedules
+// plus syscall results. Data races may make the two executions disagree; a
+// divergence is detected at the epoch boundary and repaired by forward
+// recovery, and the resulting log always replays.
+//
+// [ReplaySequential] reproduces the recording on one simulated CPU;
+// [ReplayParallel] replays all epochs concurrently from the retained
+// checkpoints on real host goroutines.
+//
+// # Quickstart
+//
+//	b := doubleplay.NewProgram("hello")
+//	// ... build guest functions (see examples/quickstart) ...
+//	prog := b.MustBuild()
+//	res, err := doubleplay.Record(prog, doubleplay.NewWorld(1), doubleplay.RecordOptions{
+//		Workers: 2, SpareCPUs: 2,
+//	})
+//	rep, err := doubleplay.ReplaySequential(prog, res.Recording)
+//
+// The builtin benchmark suite mirroring the paper's evaluation is exposed
+// through [Workloads] and [BuildWorkload].
+package doubleplay
+
+import (
+	"io"
+
+	"doubleplay/internal/asm"
+	"doubleplay/internal/core"
+	"doubleplay/internal/dplog"
+	"doubleplay/internal/epoch"
+	"doubleplay/internal/race"
+	"doubleplay/internal/replay"
+	"doubleplay/internal/sched"
+	"doubleplay/internal/simos"
+	"doubleplay/internal/vm"
+	"doubleplay/internal/workloads"
+)
+
+// Program is an executable guest image.
+type Program = vm.Program
+
+// Builder constructs guest programs; see internal/asm for the full API.
+type Builder = asm.Builder
+
+// Func is a guest function under construction.
+type Func = asm.Func
+
+// Reg names a guest register.
+type Reg = asm.Reg
+
+// World is the simulated OS environment a guest runs against.
+type World = simos.World
+
+// Recording is a complete replay log.
+type Recording = dplog.Recording
+
+// RecordOptions configure a recording; see core.Options for field docs.
+type RecordOptions = core.Options
+
+// RecordResult is a completed recording with its retained checkpoints.
+type RecordResult = core.Result
+
+// RecordStats aggregates what the recorder measured.
+type RecordStats = core.Stats
+
+// NativeResult reports an unrecorded baseline execution.
+type NativeResult = core.NativeResult
+
+// ReplayResult reports a completed replay.
+type ReplayResult = replay.Result
+
+// Boundary is an epoch-start checkpoint retained for parallel replay.
+type Boundary = epoch.Boundary
+
+// CostModel prices simulated operations; DefaultCosts returns the
+// calibration used by the evaluation.
+type CostModel = vm.CostModel
+
+// WorkloadParams size a builtin benchmark instance.
+type WorkloadParams = workloads.Params
+
+// BuiltWorkload is a ready-to-run benchmark instance.
+type BuiltWorkload = workloads.Built
+
+// NewProgram starts building a guest program.
+func NewProgram(name string) *Builder { return asm.NewBuilder(name) }
+
+// InstallStdlib adds the guest runtime library (std.memcpy, std.memset,
+// std.memcmp, std.sum, std.max, std.fill_lcg, std.checksum, std.bsearch)
+// to a program under construction; call before Build.
+func InstallStdlib(b *Builder) { asm.InstallStdlib(b) }
+
+// NewWorld returns an empty simulated environment with the given seed.
+func NewWorld(seed int64) *World { return simos.NewWorld(seed) }
+
+// DefaultCosts returns the evaluation's cost model.
+func DefaultCosts() *CostModel { return vm.DefaultCosts() }
+
+// Record performs a uniparallel recording of prog against world. The world
+// is consumed; build a fresh one per run.
+func Record(prog *Program, world *World, opt RecordOptions) (*RecordResult, error) {
+	return core.Record(prog, world, opt)
+}
+
+// RunNative executes prog with no recording — the overhead baseline.
+func RunNative(prog *Program, world *World, cpus int, seed int64) (*NativeResult, error) {
+	return core.RunNative(prog, world, cpus, seed, nil)
+}
+
+// ReplaySequential reproduces a recording epoch by epoch on one simulated
+// CPU, verifying every boundary hash.
+func ReplaySequential(prog *Program, rec *Recording) (*ReplayResult, error) {
+	return replay.Sequential(prog, rec, nil)
+}
+
+// ReplayParallel replays all epochs concurrently from the retained
+// checkpoints across cpus host workers.
+func ReplayParallel(prog *Program, rec *Recording, boundaries []*Boundary, cpus int) (*ReplayResult, error) {
+	return replay.Parallel(prog, rec, boundaries, cpus, nil)
+}
+
+// ReplayParallelSparse replays segments of consecutive epochs concurrently
+// from a thinned checkpoint set (see RecordResult.ThinBoundaries), trading
+// replay parallelism for checkpoint memory.
+func ReplayParallelSparse(prog *Program, rec *Recording, sparse []*Boundary, cpus int) (*ReplayResult, error) {
+	return replay.ParallelSparse(prog, rec, sparse, cpus, nil)
+}
+
+// SaveRecording writes a recording in the binary log format.
+func SaveRecording(w io.Writer, rec *Recording) error { return dplog.Marshal(w, rec) }
+
+// LoadRecording reads a recording written by SaveRecording.
+func LoadRecording(r io.Reader) (*Recording, error) { return dplog.Unmarshal(r) }
+
+// Workloads lists the builtin benchmark names in presentation order.
+func Workloads() []string {
+	all := workloads.All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// WorkloadInfo describes a builtin benchmark.
+type WorkloadInfo struct {
+	Name string
+	Kind string
+	Desc string
+	Racy bool
+}
+
+// DescribeWorkload returns metadata for a builtin benchmark, or nil.
+func DescribeWorkload(name string) *WorkloadInfo {
+	w := workloads.Get(name)
+	if w == nil {
+		return nil
+	}
+	return &WorkloadInfo{Name: w.Name, Kind: w.Kind, Desc: w.Desc, Racy: w.Racy}
+}
+
+// BuildWorkload instantiates a builtin benchmark, returning its program and
+// a fresh world. It returns nil for unknown names.
+func BuildWorkload(name string, p WorkloadParams) *BuiltWorkload {
+	w := workloads.Get(name)
+	if w == nil {
+		return nil
+	}
+	return w.Build(p)
+}
+
+// RaceReport is one detected data race.
+type RaceReport = race.Report
+
+// FindRaces executes prog uniprocessor under a vector-clock happens-before
+// detector and returns the racy addresses found. This is the debugging step
+// DoublePlay's replay enables: once an execution replays deterministically,
+// the race that caused a divergence can be located offline.
+func FindRaces(prog *Program, world *World) ([]RaceReport, error) {
+	det := race.NewDetector(0)
+	m := vm.NewMachine(prog, simos.NewOS(world), nil)
+	m.Hooks.OnSync = det.OnSync
+	m.Hooks.OnMemAccess = det.OnMemAccess
+	uni := sched.NewUni(m)
+	if err := uni.Run(); err != nil {
+		return nil, err
+	}
+	return det.Races(), nil
+}

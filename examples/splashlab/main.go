@@ -1,0 +1,57 @@
+// Splashlab: run scientific kernels under a recording-parameter study —
+// epoch length against overhead — reproducing in miniature the trade-off
+// the paper's epoch-length discussion describes: short epochs pay
+// checkpoint and pipeline-fill costs, long epochs pay drain latency (the
+// last epoch's serialized execution), with a broad sweet spot between.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doubleplay"
+)
+
+func main() {
+	const workers = 4
+	kernels := []string{"fft", "ocean", "radix"}
+	epochLens := []int64{6_250, 12_500, 25_000, 50_000, 100_000, 200_000}
+
+	fmt.Printf("%-8s", "epoch")
+	for _, k := range kernels {
+		fmt.Printf("  %8s", k)
+	}
+	fmt.Println()
+
+	nativeCycles := map[string]int64{}
+	for _, k := range kernels {
+		bt := doubleplay.BuildWorkload(k, doubleplay.WorkloadParams{Workers: workers, Seed: 5})
+		nat, err := doubleplay.RunNative(bt.Prog, bt.World, workers, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nativeCycles[k] = nat.Cycles
+	}
+
+	for _, el := range epochLens {
+		fmt.Printf("%-8d", el)
+		for _, k := range kernels {
+			bt := doubleplay.BuildWorkload(k, doubleplay.WorkloadParams{Workers: workers, Seed: 5})
+			res, err := doubleplay.Record(bt.Prog, bt.World, doubleplay.RecordOptions{
+				Workers:     workers,
+				SpareCPUs:   workers,
+				EpochCycles: el,
+				Seed:        5,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			over := (float64(res.Stats.CompletionCycles)/float64(nativeCycles[k]) - 1) * 100
+			fmt.Printf("  %7.1f%%", over)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ncolumns are recording overhead vs native; note the U-shape:")
+	fmt.Println("tiny epochs pay per-checkpoint costs, huge epochs pay pipeline drain.")
+}

@@ -1,0 +1,3 @@
+module doubleplay
+
+go 1.22

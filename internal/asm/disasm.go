@@ -1,0 +1,33 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"doubleplay/internal/vm"
+)
+
+// Disassemble renders a program as a human-readable listing with function
+// headers, used by the CLI's disasm command and by debugging tests.
+func Disassemble(p *vm.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; program %q: %d instructions, %d functions, %d data words @%d\n",
+		p.Name, len(p.Code), len(p.Funcs), len(p.Data), p.DataBase)
+	// Map entry points to function indices for headers.
+	heads := make(map[int][]int)
+	for i, f := range p.Funcs {
+		heads[f.Entry] = append(heads[f.Entry], i)
+	}
+	for pc, in := range p.Code {
+		for _, fi := range heads[pc] {
+			f := p.Funcs[fi]
+			marker := ""
+			if fi == p.Entry {
+				marker = " (entry)"
+			}
+			fmt.Fprintf(&sb, "\n%s(%d args)%s:\n", f.Name, f.NArgs, marker)
+		}
+		fmt.Fprintf(&sb, "%6d  %s\n", pc, in)
+	}
+	return sb.String()
+}

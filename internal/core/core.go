@@ -1,0 +1,622 @@
+// Package core implements DoublePlay's primary contribution: uniparallel
+// recording. A thread-parallel execution of the guest runs across multiple
+// simulated CPUs generating epoch checkpoints, while an epoch-parallel
+// execution re-runs each epoch with all threads timesliced on one CPU,
+// constrained by the recorded synchronisation order and fed the recorded
+// syscall results. The epoch-parallel execution is the one that is logged
+// — its log is just the timeslice schedule plus syscalls — and the one that
+// replay reproduces. When a data race makes the two executions disagree at
+// an epoch boundary, forward recovery adopts the epoch-parallel state as
+// the truth and resumes the thread-parallel run from it.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"doubleplay/internal/dplog"
+	"doubleplay/internal/epoch"
+	"doubleplay/internal/race"
+	"doubleplay/internal/sched"
+	"doubleplay/internal/simos"
+	"doubleplay/internal/vm"
+)
+
+// DefaultEpochCycles is the default epoch length in simulated cycles,
+// chosen so the evaluation workloads span tens of epochs — the regime the
+// paper's steady-state pipeline numbers describe.
+const DefaultEpochCycles = 25_000
+
+// Options configure a recording run.
+type Options struct {
+	// RecordCPUs is the number of cores the thread-parallel execution uses;
+	// it defaults to the guest's worker count + 1 when Workers is set, or 2.
+	RecordCPUs int
+
+	// SpareCPUs is the number of additional cores available to the
+	// epoch-parallel pipeline. Zero selects the "utilized" configuration:
+	// both executions time-share the record CPUs.
+	SpareCPUs int
+
+	// Workers documents the guest's worker thread count for reporting.
+	Workers int
+
+	// EpochCycles is the epoch length in simulated cycles.
+	EpochCycles int64
+
+	// EpochGrowth, when > 1, grows the epoch length geometrically after
+	// every verified epoch, up to EpochCyclesMax. Short early epochs bound
+	// divergence-detection latency while the program is young; long steady
+	// -state epochs amortise checkpoint costs. A divergence resets the
+	// length to EpochCycles.
+	EpochGrowth    float64
+	EpochCyclesMax int64
+
+	// Quantum is the uniprocessor timeslice in retired instructions.
+	Quantum int64
+
+	// Seed drives all simulated timing nondeterminism.
+	Seed int64
+
+	// Costs overrides the cost model; nil selects vm.DefaultCosts.
+	Costs *vm.CostModel
+
+	// DisableSyncEnforcement turns off the sync-order gate during
+	// epoch-parallel runs (ablation: every lock race becomes a divergence).
+	DisableSyncEnforcement bool
+
+	// DetectRaces attaches a happens-before detector to the epoch-parallel
+	// executions. Races are reported in Result.Races. The detector observes
+	// the verified (logged) execution stream; epochs replaced by re-run
+	// recovery are not instrumented.
+	DetectRaces bool
+
+	// MaxEpochs bounds the recording as a safety net.
+	MaxEpochs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RecordCPUs <= 0 {
+		if o.Workers > 0 {
+			o.RecordCPUs = o.Workers + 1
+		} else {
+			o.RecordCPUs = 2
+		}
+	}
+	if o.EpochCycles <= 0 {
+		o.EpochCycles = DefaultEpochCycles
+	}
+	if o.EpochGrowth < 1 {
+		o.EpochGrowth = 1
+	}
+	if o.EpochCyclesMax <= 0 {
+		o.EpochCyclesMax = 16 * o.EpochCycles
+	}
+	if o.Quantum <= 0 {
+		o.Quantum = sched.DefaultQuantum
+	}
+	if o.Costs == nil {
+		o.Costs = vm.DefaultCosts()
+	}
+	if o.MaxEpochs <= 0 {
+		o.MaxEpochs = 1 << 16
+	}
+	return o
+}
+
+// Stats aggregates everything the evaluation reports about one recording.
+type Stats struct {
+	Epochs      int
+	Retired     int64 // guest instructions retired by the thread-parallel run
+	SyncEvents  int   // gated sync operations logged
+	Syscalls    int   // syscalls logged
+	Signals     int   // asynchronous deliveries logged
+	Slices      int   // timeslices in the replay schedule
+	GuestFaults int
+
+	Divergences       int // epochs whose executions disagreed
+	HashRecoveries    int // recovered by adopting the epoch-parallel state
+	RerunRecoveries   int // recovered by re-running the epoch uniprocessor
+	SquashedCycles    int64
+
+	CheckpointPages int64 // Σ mapped pages over all checkpoints
+	CowPages        int64 // pages copied by checkpoint copy-on-write
+
+	// ThreadParallelCycles is when the thread-parallel run finished;
+	// CompletionCycles is when the last epoch was verified and logged —
+	// the time at which recording is complete and output commits.
+	ThreadParallelCycles int64
+	CompletionCycles     int64
+	EpochSerialCycles    int64 // Σ epoch-parallel execution durations
+
+	ReplayBytes int // encoded size of the replay log
+	FullBytes   int // including the transient sync-order log
+}
+
+// Result is a completed recording.
+type Result struct {
+	Recording  *dplog.Recording
+	Boundaries []*epoch.Boundary // epoch-start checkpoints, for parallel replay
+	Stats      Stats
+	FinalHash  uint64
+	OutputHash uint64
+
+	// Races holds the happens-before reports when Options.DetectRaces was
+	// set.
+	Races []race.Report
+
+	// Divergences details every epoch whose executions disagreed.
+	Divergences []DivergenceInfo
+}
+
+// DivergenceInfo is the forensic record of one divergence.
+type DivergenceInfo struct {
+	Epoch int
+	// Kind is "state" (end hashes differed; epoch-parallel state adopted)
+	// or "input" (syscall/sync mismatch; epoch re-executed).
+	Kind string
+	// Reason carries the detector's message for input divergences.
+	Reason string
+	// Pages lists the memory pages on which the two executions disagreed
+	// (state divergences only) — the hint a developer chases with the race
+	// detector.
+	Pages []vm.Word
+}
+
+// ReleaseCheckpoints drops the retained epoch-start checkpoints' hold on
+// shared memory pages. Call it when parallel replay is no longer needed;
+// the Recording itself remains valid for sequential replay.
+func (r *Result) ReleaseCheckpoints() {
+	for _, b := range r.Boundaries {
+		b.CP.Release()
+	}
+	r.Boundaries = nil
+}
+
+// ThinBoundaries returns every stride-th boundary (always including the
+// first and last), for memory-bounded segment-parallel replay via
+// replay.ParallelSparse. The returned boundaries keep their epoch indices.
+func (r *Result) ThinBoundaries(stride int) []*epoch.Boundary {
+	if stride <= 1 {
+		return r.Boundaries
+	}
+	var out []*epoch.Boundary
+	for i, b := range r.Boundaries {
+		if i%stride == 0 || i == len(r.Boundaries)-1 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// recordOS wraps the simulated OS and appends every retired syscall to the
+// current epoch's log.
+type recordOS struct {
+	inner vm.SyscallHandler
+	cur   *[]dplog.SyscallRecord
+}
+
+func (r *recordOS) Syscall(m *vm.Machine, t *vm.Thread, num vm.Word, args [6]vm.Word) vm.SysResult {
+	res := r.inner.Syscall(m, t, num, args)
+	if !res.Block && res.Fault == "" {
+		*r.cur = append(*r.cur, dplog.SyscallRecord{
+			Tid: t.ID, Num: num, Args: args, Ret: res.Ret, Writes: res.Writes,
+		})
+	}
+	return res
+}
+
+// sysLogCost prices recording a batch of syscall records: a flat append
+// plus a fraction of the input data copied into the log buffer.
+func sysLogCost(recs []dplog.SyscallRecord, c *vm.CostModel) int64 {
+	var cost int64
+	for i := range recs {
+		cost += c.SysLogEvent
+		for _, w := range recs[i].Writes {
+			cost += int64(len(w.Data)) / 8
+		}
+	}
+	return cost
+}
+
+// pipeline models when each epoch's epoch-parallel execution runs and
+// finishes, given the spare cores available. With spare cores it is an
+// event-driven machine: an epoch starts when its start checkpoint exists
+// and a spare core frees up, and cannot commit before its end checkpoint
+// exists. With no spare cores ("utilized"), epoch work displaces
+// thread-parallel work on the same cores.
+type pipeline struct {
+	spares     []int64
+	recordCPUs int
+	busy       int64
+	lastFinish int64
+}
+
+func newPipeline(spare, recordCPUs int) *pipeline {
+	p := &pipeline{recordCPUs: recordCPUs}
+	if spare > 0 {
+		p.spares = make([]int64, spare)
+	}
+	return p
+}
+
+func (p *pipeline) schedule(startReady, checkReady, dur int64) int64 {
+	var fin int64
+	if len(p.spares) > 0 {
+		c := 0
+		for i := 1; i < len(p.spares); i++ {
+			if p.spares[i] < p.spares[c] {
+				c = i
+			}
+		}
+		start := p.spares[c]
+		if start < startReady {
+			start = startReady
+		}
+		fin = start + dur
+		if fin < checkReady {
+			fin = checkReady
+		}
+		p.spares[c] = fin
+	} else {
+		p.busy += dur
+		fin = checkReady + p.busy/int64(p.recordCPUs)
+	}
+	if fin > p.lastFinish {
+		p.lastFinish = fin
+	}
+	return fin
+}
+
+func (p *pipeline) completion(tpFinish int64) int64 {
+	fin := tpFinish
+	if len(p.spares) == 0 {
+		fin += p.busy / int64(p.recordCPUs)
+	}
+	if p.lastFinish > fin {
+		fin = p.lastFinish
+	}
+	return fin
+}
+
+// Record performs a uniparallel recording of prog against world. The world
+// is mutated; pass a freshly built one.
+func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	costs := opt.Costs
+
+	var curSys []dplog.SyscallRecord
+	var curSync []dplog.SyncRecord
+	var curSigs []dplog.SignalRecord
+
+	liveWorld := world
+	ros := &recordOS{inner: simos.NewOS(liveWorld), cur: &curSys}
+	syncHook := func(ev vm.SyncEvent) {
+		if ev.Gated() {
+			curSync = append(curSync, dplog.SyncRecord{Tid: ev.Tid, Kind: ev.Obj.Kind, ID: ev.Obj.ID})
+		}
+	}
+
+	m := vm.NewMachine(prog, ros, costs)
+	m.Hooks.OnSync = syncHook
+	// Signal deliveries come from the world's script and are logged with
+	// the exact retired-instruction position they interrupted.
+	sigHook := func(t *vm.Thread) (vm.Word, bool) {
+		sig, ok := liveWorld.NextSignal(t.ID, m.Now)
+		if ok {
+			curSigs = append(curSigs, dplog.SignalRecord{Tid: t.ID, Retired: t.Retired, Sig: sig})
+		}
+		return sig, ok
+	}
+	m.Hooks.PendingSignal = sigHook
+	par := sched.NewParallel(m, opt.RecordCPUs, opt.Seed)
+
+	boundaries := []*epoch.Boundary{epoch.Capture(0, 0, m, liveWorld)}
+	rec := &dplog.Recording{Program: prog.Name, Workers: opt.Workers, Seed: opt.Seed}
+	pl := newPipeline(opt.SpareCPUs, opt.RecordCPUs)
+	var stats Stats
+	var det *race.Detector
+	if opt.DetectRaces {
+		det = race.NewDetector(0)
+	}
+	var divInfo []DivergenceInfo
+
+	epochLen := opt.EpochCycles
+	for !m.Done() {
+		if len(boundaries) > opt.MaxEpochs {
+			return nil, fmt.Errorf("core: exceeded %d epochs; runaway guest?", opt.MaxEpochs)
+		}
+		// Thread-parallel execution of one epoch.
+		next := boundaries[len(boundaries)-1].Cycle + epochLen
+		if err := par.RunUntil(next); err != nil {
+			return nil, fmt.Errorf("core: thread-parallel run failed: %w", err)
+		}
+
+		// Charge the record-time costs this epoch accrued: log appends,
+		// copy-on-write traffic behind the last checkpoint, and the
+		// checkpoint we are about to take.
+		cow := m.Mem.Stats().PagesCopied
+		m.Mem.ResetStats()
+		mapped := int64(m.Mem.PageCount())
+		par.AddCost(int64(len(curSync)+len(curSigs))*costs.SyncLogEvent +
+			sysLogCost(curSys, costs) +
+			costs.CheckpointBase + costs.CheckpointPage*mapped +
+			cow*costs.CowCopyPage)
+		stats.CheckpointPages += mapped
+		stats.CowPages += cow
+
+		b := epoch.Capture(len(boundaries), par.Now(), m, liveWorld)
+		boundaries = append(boundaries, b)
+		i := len(boundaries) - 2
+		start := boundaries[i]
+
+		ep := &dplog.EpochLog{
+			Index:     i,
+			Targets:   b.Targets(),
+			SyncOrder: curSync,
+			Syscalls:  curSys,
+			Signals:   curSigs,
+			StartHash: start.Hash,
+		}
+		stats.SyncEvents += len(curSync)
+		stats.Syscalls += len(curSys)
+		curSync = nil
+		curSys = nil
+		curSigs = nil
+
+		// Epoch-parallel execution of epoch i, constrained and injected.
+		spec := epoch.RunSpec{
+			Prog:               prog,
+			Start:              start,
+			Targets:            ep.Targets,
+			SyncOrder:          ep.SyncOrder,
+			Syscalls:           ep.Syscalls,
+			Signals:            ep.Signals,
+			Quantum:            opt.Quantum,
+			Costs:              costs,
+			DisableEnforcement: opt.DisableSyncEnforcement,
+		}
+		if det != nil {
+			spec.OnSync = det.OnSync
+			spec.OnMemAccess = det.OnMemAccess
+		}
+		res, err := epoch.Run(spec)
+		compareCost := costs.ComparePage * mapped
+		dur := res.Cycles + compareCost
+		stats.EpochSerialCycles += dur
+
+		ep.CommitHash = b.World.OutputHash()
+
+		switch {
+		case err == nil && res.EndHash == b.Hash:
+			// Verified: the epoch-parallel execution reached the same state.
+			ep.EndHash = b.Hash
+			ep.Schedule = res.Schedule
+			rec.Epochs = append(rec.Epochs, ep)
+			pl.schedule(start.Cycle, b.Cycle, dur)
+			if opt.EpochGrowth > 1 {
+				grown := int64(float64(epochLen) * opt.EpochGrowth)
+				if grown > opt.EpochCyclesMax {
+					grown = opt.EpochCyclesMax
+				}
+				epochLen = grown
+			}
+
+		case err == nil:
+			// A data race made the epoch-parallel run reach a different —
+			// but equally valid — state. Both runs consumed identical
+			// inputs (injection verified that), so the world snapshot at
+			// the boundary is still correct; only the architectural state
+			// is replaced. Forward recovery: adopt, squash, resume.
+			stats.Divergences++
+			stats.HashRecoveries++
+			divInfo = append(divInfo, DivergenceInfo{
+				Epoch: i,
+				Kind:  "state",
+				Pages: res.M.Mem.DiffPages(b.CP.MemSnap.Restore()),
+			})
+			ep.EndHash = res.EndHash
+			ep.Schedule = res.Schedule
+			rec.Epochs = append(rec.Epochs, ep)
+			detect := pl.schedule(start.Cycle, b.Cycle, dur)
+			stats.SquashedCycles += maxi64(0, detect-b.Cycle)
+			nb := &epoch.Boundary{
+				Index:       b.Index,
+				Cycle:       detect,
+				CP:          res.M.Checkpoint(),
+				World:       b.World,
+				Hash:        res.EndHash,
+				MappedPages: res.M.Mem.PageCount(),
+			}
+			boundaries[len(boundaries)-1] = nb
+			m, par = resumeFrom(prog, nb, ros, syncHook, sigHook, costs, opt, detect, len(boundaries))
+			liveWorld = currentWorld(ros)
+			epochLen = opt.EpochCycles // divergence: back to short epochs
+
+		case epoch.IsDivergence(err):
+			// The epoch-parallel run departed before the boundary (syscall
+			// or sync-order mismatch). Roll the world back to the epoch
+			// start — the simulator analogue of the paper's buffered-input
+			// redelivery — and re-execute the epoch uniprocessor against
+			// the real OS. That free run becomes the epoch's log and its
+			// end state becomes the truth.
+			stats.Divergences++
+			stats.RerunRecoveries++
+			divInfo = append(divInfo, DivergenceInfo{Epoch: i, Kind: "input", Reason: err.Error()})
+			quota := sumTargets(ep.Targets) - sumRetired(start.CP)
+			reb, rr, rerr := rerunEpoch(prog, start, quota, costs, opt)
+			if rerr != nil {
+				return nil, fmt.Errorf("core: forward recovery of epoch %d failed: %w", i, rerr)
+			}
+			rcycles := rr.cycles
+			ep.Targets = reb.Targets()
+			ep.SyncOrder = nil
+			ep.Syscalls = rr.sys
+			ep.Signals = rr.sigs
+			ep.Schedule = rr.sched
+			ep.EndHash = reb.Hash
+			ep.CommitHash = reb.World.OutputHash()
+			rec.Epochs = append(rec.Epochs, ep)
+			detect := pl.schedule(start.Cycle, b.Cycle, dur) + rcycles
+			stats.SquashedCycles += maxi64(0, detect-b.Cycle)
+			stats.EpochSerialCycles += rcycles
+			reb.Cycle = detect
+			boundaries[len(boundaries)-1] = reb
+			m, par = resumeFrom(prog, reb, ros, syncHook, sigHook, costs, opt, detect, len(boundaries))
+			liveWorld = currentWorld(ros)
+			epochLen = opt.EpochCycles // divergence: back to short epochs
+
+		default:
+			return nil, fmt.Errorf("core: epoch %d verification failed: %w", i, err)
+		}
+	}
+
+	last := boundaries[len(boundaries)-1]
+	rec.FinalHash = last.Hash
+	rec.OutputHash = last.World.OutputHash()
+
+	stats.Epochs = len(rec.Epochs)
+	stats.Retired = totalRetired(last.CP)
+	stats.Slices = rec.Slices()
+	stats.Syscalls = rec.SyscallCount()
+	stats.SyncEvents = rec.SyncOps()
+	stats.Signals = rec.SignalCount()
+	stats.GuestFaults = m.FaultCount()
+	stats.ThreadParallelCycles = par.WallTime()
+	stats.CompletionCycles = pl.completion(par.WallTime())
+	stats.ReplayBytes = rec.ReplaySize()
+	stats.FullBytes = rec.FullSize()
+
+	out := &Result{
+		Recording:  rec,
+		Boundaries: boundaries,
+		Stats:      stats,
+		FinalHash:  rec.FinalHash,
+		OutputHash: rec.OutputHash,
+	}
+	if det != nil {
+		out.Races = det.Races()
+	}
+	out.Divergences = divInfo
+	return out, nil
+}
+
+// resumeFrom rebuilds the thread-parallel machine and scheduler from an
+// adopted boundary; the live world becomes a clone of the boundary's.
+func resumeFrom(prog *vm.Program, b *epoch.Boundary, ros *recordOS,
+	syncHook func(vm.SyncEvent), sigHook func(*vm.Thread) (vm.Word, bool),
+	costs *vm.CostModel, opt Options, clock int64, salt int) (*vm.Machine, *sched.Parallel) {
+	w := b.World.Clone()
+	ros.inner = simos.NewOS(w)
+	m := b.CP.Restore(prog, ros, costs)
+	m.Hooks.OnSync = syncHook
+	m.Hooks.PendingSignal = sigHook
+	par := sched.NewParallel(m, opt.RecordCPUs, opt.Seed+int64(salt)*7919)
+	par.SetBaseClock(clock)
+	return m, par
+}
+
+// currentWorld digs the live world back out of the record wrapper.
+func currentWorld(ros *recordOS) *simos.World {
+	return ros.inner.(*simos.OS).W
+}
+
+// rerunResult bundles the logs a recovery re-execution produced.
+type rerunResult struct {
+	sched  []dplog.Slice
+	sys    []dplog.SyscallRecord
+	sigs   []dplog.SignalRecord
+	cycles int64
+}
+
+// rerunEpoch performs the re-execution half of forward recovery: a free
+// uniprocessor run of roughly one epoch's worth of instructions from the
+// boundary, against a rolled-back world, with its schedule, syscalls, and
+// signal deliveries recorded.
+func rerunEpoch(prog *vm.Program, start *epoch.Boundary, quota uint64,
+	costs *vm.CostModel, opt Options) (*epoch.Boundary, *rerunResult, error) {
+	w := start.World.Clone()
+	rr := &rerunResult{}
+	ros := &recordOS{inner: simos.NewOS(w), cur: &rr.sys}
+	m := start.CP.Restore(prog, ros, costs)
+	m.Hooks.PendingSignal = func(t *vm.Thread) (vm.Word, bool) {
+		sig, ok := w.NextSignal(t.ID, m.Now)
+		if ok {
+			rr.sigs = append(rr.sigs, dplog.SignalRecord{Tid: t.ID, Retired: t.Retired, Sig: sig})
+		}
+		return sig, ok
+	}
+	uni := sched.NewUni(m)
+	uni.Quantum = opt.Quantum
+	uni.LogSchedule = true
+	if quota == 0 {
+		quota = 1
+	}
+	uni.TotalBudget = quota
+	if err := uni.Run(); err != nil && !m.Done() {
+		return nil, nil, err
+	}
+	rr.sched = uni.Log
+	rr.cycles = uni.Cycles
+	b := epoch.Capture(start.Index+1, 0, m, w)
+	return b, rr, nil
+}
+
+func sumTargets(ts []uint64) uint64 {
+	var n uint64
+	for _, t := range ts {
+		n += t
+	}
+	return n
+}
+
+func sumRetired(cp *vm.Checkpoint) uint64 {
+	var n uint64
+	for _, t := range cp.Threads {
+		n += t.Retired
+	}
+	return n
+}
+
+func totalRetired(cp *vm.Checkpoint) int64 {
+	return int64(sumRetired(cp))
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NativeResult reports a plain parallel execution with no recording.
+type NativeResult struct {
+	Cycles     int64
+	Retired    int64
+	FinalHash  uint64
+	OutputHash uint64
+	Faults     []string
+}
+
+// RunNative executes prog against world on cpus cores with no DoublePlay
+// machinery — the baseline denominator for every overhead figure.
+func RunNative(prog *vm.Program, world *simos.World, cpus int, seed int64, costs *vm.CostModel) (*NativeResult, error) {
+	if costs == nil {
+		costs = vm.DefaultCosts()
+	}
+	m := vm.NewMachine(prog, simos.NewOS(world), costs)
+	par := sched.NewParallel(m, cpus, seed)
+	if err := par.Run(); err != nil {
+		return nil, err
+	}
+	return &NativeResult{
+		Cycles:     par.WallTime(),
+		Retired:    par.Retired(),
+		FinalHash:  m.StateHash(),
+		OutputHash: world.OutputHash(),
+		Faults:     m.Faults(),
+	}, nil
+}
+
+// ErrTooManyEpochs is returned when MaxEpochs is exceeded.
+var ErrTooManyEpochs = errors.New("core: too many epochs")

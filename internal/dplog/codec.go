@@ -1,0 +1,377 @@
+package dplog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"doubleplay/internal/vm"
+)
+
+// The on-disk format is a magic header followed by varint-encoded sections.
+// Varints keep the log-size experiment honest: a timeslice record costs a
+// couple of bytes, as it would in any careful implementation.
+
+const (
+	magic         = "DPLG"
+	formatVersion = 4
+)
+
+var (
+	// ErrBadMagic reports a stream that is not a DoublePlay recording.
+	ErrBadMagic = errors.New("dplog: bad magic")
+	// ErrBadVersion reports an unsupported format version.
+	ErrBadVersion = errors.New("dplog: unsupported format version")
+)
+
+type encoder struct {
+	w   io.Writer
+	buf [binary.MaxVarintLen64]byte
+}
+
+func newEncoder(w io.Writer) *encoder { return &encoder{w: w} }
+
+func (e *encoder) u(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) i(v int64) {
+	n := binary.PutVarint(e.buf[:], v)
+	e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.u(uint64(len(s)))
+	io.WriteString(e.w, s)
+}
+
+func (e *encoder) header(r *Recording) {
+	io.WriteString(e.w, magic)
+	e.u(formatVersion)
+	e.str(r.Program)
+	e.u(uint64(r.Workers))
+	e.i(r.Seed)
+	e.u(uint64(len(r.Epochs)))
+	e.u(r.FinalHash)
+	e.u(r.OutputHash)
+}
+
+// epochReplayPart encodes the sections needed for replay.
+func (e *encoder) epochReplayPart(ep *EpochLog) {
+	e.u(uint64(ep.Index))
+	e.u(ep.StartHash)
+	e.u(ep.EndHash)
+	e.u(ep.CommitHash)
+	e.u(uint64(len(ep.Targets)))
+	for _, t := range ep.Targets {
+		e.u(t)
+	}
+	e.u(uint64(len(ep.Schedule)))
+	for _, s := range ep.Schedule {
+		e.u(uint64(s.Tid))
+		e.u(s.N)
+	}
+	e.u(uint64(len(ep.Syscalls)))
+	for i := range ep.Syscalls {
+		e.syscall(&ep.Syscalls[i])
+	}
+	e.u(uint64(len(ep.Signals)))
+	for _, s := range ep.Signals {
+		e.u(uint64(s.Tid))
+		e.u(s.Retired)
+		e.i(s.Sig)
+	}
+}
+
+// epochSyncPart encodes the transient sync-order section.
+func (e *encoder) epochSyncPart(ep *EpochLog) {
+	e.u(uint64(len(ep.SyncOrder)))
+	for _, s := range ep.SyncOrder {
+		e.u(uint64(s.Tid))
+		e.u(uint64(s.Kind))
+		e.i(s.ID)
+	}
+}
+
+func (e *encoder) syscall(r *SyscallRecord) {
+	e.u(uint64(r.Tid))
+	e.i(r.Num)
+	for _, a := range r.Args {
+		e.i(a)
+	}
+	e.i(r.Ret)
+	e.u(uint64(len(r.Writes)))
+	for _, w := range r.Writes {
+		e.i(w.Addr)
+		e.u(uint64(len(w.Data)))
+		for _, d := range w.Data {
+			e.i(d)
+		}
+	}
+}
+
+// Marshal encodes the full recording (replay sections plus sync-order
+// sections) to w.
+func Marshal(w io.Writer, r *Recording) error {
+	bw := bufio.NewWriter(w)
+	enc := newEncoder(bw)
+	enc.header(r)
+	for _, ep := range r.Epochs {
+		enc.epochReplayPart(ep)
+		enc.epochSyncPart(ep)
+	}
+	return bw.Flush()
+}
+
+// MarshalBytes encodes the recording into a byte slice.
+func MarshalBytes(r *Recording) []byte {
+	var buf bytes.Buffer
+	Marshal(&buf, r)
+	return buf.Bytes()
+}
+
+type decoder struct {
+	r *bufio.Reader
+}
+
+func (d *decoder) u() (uint64, error)  { return binary.ReadUvarint(d.r) }
+func (d *decoder) i() (int64, error)   { return binary.ReadVarint(d.r) }
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("dplog: string length %d too large", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Unmarshal decodes a recording from r.
+func Unmarshal(rd io.Reader) (*Recording, error) {
+	d := &decoder{r: bufio.NewReader(rd)}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(d.r, head); err != nil {
+		return nil, err
+	}
+	if string(head) != magic {
+		return nil, ErrBadMagic
+	}
+	ver, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	rec := &Recording{}
+	if rec.Program, err = d.str(); err != nil {
+		return nil, err
+	}
+	workers, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	rec.Workers = int(workers)
+	if rec.Seed, err = d.i(); err != nil {
+		return nil, err
+	}
+	nep, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	if nep > 1<<24 {
+		return nil, fmt.Errorf("dplog: epoch count %d too large", nep)
+	}
+	if rec.FinalHash, err = d.u(); err != nil {
+		return nil, err
+	}
+	if rec.OutputHash, err = d.u(); err != nil {
+		return nil, err
+	}
+	rec.Epochs = make([]*EpochLog, nep)
+	for i := range rec.Epochs {
+		ep, err := d.epoch()
+		if err != nil {
+			return nil, fmt.Errorf("dplog: epoch %d: %w", i, err)
+		}
+		rec.Epochs[i] = ep
+	}
+	return rec, nil
+}
+
+// UnmarshalBytes decodes a recording from a byte slice.
+func UnmarshalBytes(b []byte) (*Recording, error) {
+	return Unmarshal(bytes.NewReader(b))
+}
+
+func (d *decoder) epoch() (*EpochLog, error) {
+	ep := &EpochLog{}
+	idx, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	ep.Index = int(idx)
+	if ep.StartHash, err = d.u(); err != nil {
+		return nil, err
+	}
+	if ep.EndHash, err = d.u(); err != nil {
+		return nil, err
+	}
+	if ep.CommitHash, err = d.u(); err != nil {
+		return nil, err
+	}
+	nt, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	if nt > 1<<20 {
+		return nil, fmt.Errorf("target count %d too large", nt)
+	}
+	ep.Targets = make([]uint64, nt)
+	for i := range ep.Targets {
+		if ep.Targets[i], err = d.u(); err != nil {
+			return nil, err
+		}
+	}
+	ns, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	if ns > 1<<28 {
+		return nil, fmt.Errorf("slice count %d too large", ns)
+	}
+	ep.Schedule = make([]Slice, ns)
+	for i := range ep.Schedule {
+		tid, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		ep.Schedule[i] = Slice{Tid: int(tid), N: n}
+	}
+	nsys, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	if nsys > 1<<28 {
+		return nil, fmt.Errorf("syscall count %d too large", nsys)
+	}
+	ep.Syscalls = make([]SyscallRecord, nsys)
+	for i := range ep.Syscalls {
+		if err := d.syscall(&ep.Syscalls[i]); err != nil {
+			return nil, err
+		}
+	}
+	nsig, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	if nsig > 1<<28 {
+		return nil, fmt.Errorf("signal count %d too large", nsig)
+	}
+	if nsig > 0 {
+		ep.Signals = make([]SignalRecord, nsig)
+	}
+	for i := range ep.Signals {
+		tid, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		ret, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		sig, err := d.i()
+		if err != nil {
+			return nil, err
+		}
+		ep.Signals[i] = SignalRecord{Tid: int(tid), Retired: ret, Sig: sig}
+	}
+	nsync, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	if nsync > 1<<28 {
+		return nil, fmt.Errorf("sync count %d too large", nsync)
+	}
+	ep.SyncOrder = make([]SyncRecord, nsync)
+	for i := range ep.SyncOrder {
+		tid, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		id, err := d.i()
+		if err != nil {
+			return nil, err
+		}
+		ep.SyncOrder[i] = SyncRecord{Tid: int(tid), Kind: vm.ObjKind(kind), ID: id}
+	}
+	return ep, nil
+}
+
+func (d *decoder) syscall(r *SyscallRecord) error {
+	tid, err := d.u()
+	if err != nil {
+		return err
+	}
+	r.Tid = int(tid)
+	if r.Num, err = d.i(); err != nil {
+		return err
+	}
+	for i := range r.Args {
+		if r.Args[i], err = d.i(); err != nil {
+			return err
+		}
+	}
+	if r.Ret, err = d.i(); err != nil {
+		return err
+	}
+	nw, err := d.u()
+	if err != nil {
+		return err
+	}
+	if nw > 1<<20 {
+		return fmt.Errorf("write count %d too large", nw)
+	}
+	if nw > 0 {
+		r.Writes = make([]vm.MemWrite, nw)
+	}
+	for i := range r.Writes {
+		addr, err := d.i()
+		if err != nil {
+			return err
+		}
+		nd, err := d.u()
+		if err != nil {
+			return err
+		}
+		if nd > 1<<24 {
+			return fmt.Errorf("write data length %d too large", nd)
+		}
+		data := make([]vm.Word, nd)
+		for j := range data {
+			if data[j], err = d.i(); err != nil {
+				return err
+			}
+		}
+		r.Writes[i] = vm.MemWrite{Addr: addr, Data: data}
+	}
+	return nil
+}

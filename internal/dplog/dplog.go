@@ -1,0 +1,193 @@
+// Package dplog defines the log formats DoublePlay records and replays:
+// per-epoch timeslice schedules, syscall results, and sync-operation order,
+// plus a compact binary codec used both for persistence and for the
+// log-size comparisons in the evaluation.
+//
+// The central point of the paper is visible in these types: because every
+// epoch executes on a single processor, the information needed to replay it
+// is only the timeslice schedule ([]Slice) and the syscall results — there
+// is no shared-memory access-order log at all. Compare with the CREW
+// page-ownership log in internal/baseline, which is what a conventional
+// multiprocessor replay system must record.
+package dplog
+
+import (
+	"fmt"
+
+	"doubleplay/internal/vm"
+)
+
+// Slice is one timeslice of the uniprocessor schedule: thread Tid ran and
+// retired N instructions before the scheduler switched away.
+type Slice struct {
+	Tid int
+	N   uint64
+}
+
+// SyscallRecord captures one retired syscall: identity for mismatch
+// detection, the result value, and every guest-memory write the syscall
+// performed, so replay can inject the effect without a simulated OS.
+type SyscallRecord struct {
+	Tid    int
+	Num    vm.Word
+	Args   [6]vm.Word
+	Ret    vm.Word
+	Writes []vm.MemWrite
+}
+
+// Matches reports whether a syscall attempt has the same identity as the
+// recorded one. A mismatch means the executing run has diverged from the
+// recorded run before this syscall.
+func (r *SyscallRecord) Matches(tid int, num vm.Word, args [6]vm.Word) bool {
+	return r.Tid == tid && r.Num == num && r.Args == args
+}
+
+// SyncRecord is one gated synchronisation operation (lock acquire, atomic
+// op, or spawn) in global retirement order. The epoch-parallel execution
+// enforces, per object, the thread order these records dictate.
+type SyncRecord struct {
+	Tid  int
+	Kind vm.ObjKind
+	ID   vm.Word
+}
+
+// SignalRecord pinpoints one asynchronous signal delivery: signal Sig was
+// delivered to thread Tid when it had retired exactly Retired
+// instructions. Replay re-delivers at that precise point.
+type SignalRecord struct {
+	Tid     int
+	Retired uint64
+	Sig     vm.Word
+}
+
+// EpochLog is everything recorded about one epoch.
+type EpochLog struct {
+	Index int
+
+	// Targets give, for every thread id that exists by the end of the
+	// epoch, its retired-instruction count at the epoch boundary. They
+	// define where the epoch ends in every execution.
+	Targets []uint64
+
+	// SyncOrder is the gated sync-op order observed by the thread-parallel
+	// run within this epoch. It is consumed by the epoch-parallel logging
+	// run (to constrain it) and is not needed for replay.
+	SyncOrder []SyncRecord
+
+	// Syscalls are the syscall results retired within this epoch, in global
+	// retirement order (per-thread order is preserved, which is all
+	// injection requires).
+	Syscalls []SyscallRecord
+
+	// Signals are the asynchronous deliveries within this epoch, each
+	// pinned to a retired-instruction count.
+	Signals []SignalRecord
+
+	// Schedule is the epoch-parallel uniprocessor timeslice log — together
+	// with Syscalls and Signals, the complete replay log for this epoch.
+	Schedule []Slice
+
+	// StartHash and EndHash are the architectural state hashes at the
+	// epoch's boundaries, recorded for replay verification.
+	StartHash uint64
+	EndHash   uint64
+
+	// CommitHash is the running hash of all external output at the epoch's
+	// end boundary: the output that may be released to the outside world
+	// once this epoch verifies. It makes the paper's deferred output commit
+	// visible in the log — output beyond the last verified epoch is still
+	// speculative.
+	CommitHash uint64
+}
+
+// Recording is the complete replay log of one program execution.
+type Recording struct {
+	Program string
+	Workers int
+	Seed    int64
+	Epochs  []*EpochLog
+
+	// FinalHash is the architectural state hash at termination.
+	FinalHash uint64
+
+	// OutputHash summarises the external output the guest produced, so
+	// replayed runs can be checked against recorded output commits.
+	OutputHash uint64
+}
+
+// Slices returns the total number of timeslice records.
+func (r *Recording) Slices() int {
+	n := 0
+	for _, e := range r.Epochs {
+		n += len(e.Schedule)
+	}
+	return n
+}
+
+// SyscallCount returns the total number of recorded syscalls.
+func (r *Recording) SyscallCount() int {
+	n := 0
+	for _, e := range r.Epochs {
+		n += len(e.Syscalls)
+	}
+	return n
+}
+
+// SyncOps returns the total number of recorded gated sync operations.
+func (r *Recording) SyncOps() int {
+	n := 0
+	for _, e := range r.Epochs {
+		n += len(e.SyncOrder)
+	}
+	return n
+}
+
+// SignalCount returns the total number of recorded signal deliveries.
+func (r *Recording) SignalCount() int {
+	n := 0
+	for _, e := range r.Epochs {
+		n += len(e.Signals)
+	}
+	return n
+}
+
+// ReplaySize reports the encoded size in bytes of the information required
+// to replay the execution: schedules, syscall records, and epoch targets.
+// The sync-order log is excluded — it exists only to steer the
+// epoch-parallel run during recording and is discarded afterwards, exactly
+// as in the paper.
+func (r *Recording) ReplaySize() int {
+	var w countWriter
+	enc := newEncoder(&w)
+	enc.header(r)
+	for _, e := range r.Epochs {
+		enc.epochReplayPart(e)
+	}
+	return w.n
+}
+
+// FullSize reports the encoded size including the transient sync-order log.
+func (r *Recording) FullSize() int {
+	var w countWriter
+	enc := newEncoder(&w)
+	enc.header(r)
+	for _, e := range r.Epochs {
+		enc.epochReplayPart(e)
+		enc.epochSyncPart(e)
+	}
+	return w.n
+}
+
+// String summarises the recording.
+func (r *Recording) String() string {
+	return fmt.Sprintf("Recording(%s, %d epochs, %d slices, %d syscalls, %d sync ops, %d replay bytes)",
+		r.Program, len(r.Epochs), r.Slices(), r.SyscallCount(), r.SyncOps(), r.ReplaySize())
+}
+
+// countWriter counts bytes without storing them; used for size accounting.
+type countWriter struct{ n int }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

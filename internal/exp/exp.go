@@ -1,0 +1,165 @@
+// Package exp implements the evaluation harness: one runner per table or
+// figure in the paper, each returning structured rows and able to render
+// itself as a text table. cmd/dpbench and the repository benchmarks are
+// thin wrappers over this package; EXPERIMENTS.md records its output.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"doubleplay/internal/core"
+	"doubleplay/internal/simos"
+	"doubleplay/internal/vm"
+	"doubleplay/internal/workloads"
+)
+
+// Config holds the knobs shared by every experiment.
+type Config struct {
+	Seed        int64
+	Scale       int
+	EpochCycles int64
+	Costs       *vm.CostModel
+
+	// Workloads, when non-empty, overrides the default benchmark list
+	// (EvalSet) for every experiment — used by quick runs and tests.
+	Workloads []string
+}
+
+// evalSet returns the benchmark list this configuration selects.
+func (c Config) evalSet() []string {
+	if len(c.Workloads) > 0 {
+		return c.Workloads
+	}
+	return EvalSet
+}
+
+func (c Config) norm() Config {
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.EpochCycles <= 0 {
+		c.EpochCycles = core.DefaultEpochCycles
+	}
+	return c
+}
+
+// EvalSet is the benchmark list used by the overhead/log/replay
+// experiments: the paper's client, server, and scientific programs.
+var EvalSet = []string{"pbzip", "pfscan", "aget", "webserve", "kvdb", "fft", "lu", "radix", "ocean", "water"}
+
+// RacySet is the list used by the divergence experiments.
+var RacySet = []string{"racey", "webserve-racy"}
+
+// build constructs a fresh instance of a named workload.
+func build(name string, workers int, cfg Config) (*workloads.Workload, *workloads.Built) {
+	wl := workloads.Get(name)
+	if wl == nil {
+		panic("exp: unknown workload " + name)
+	}
+	return wl, wl.Build(workloads.Params{Workers: workers, Scale: cfg.Scale, Seed: cfg.Seed})
+}
+
+// native measures the plain parallel execution of a fresh instance.
+func native(name string, workers int, cfg Config) *core.NativeResult {
+	_, bt := build(name, workers, cfg)
+	res, err := core.RunNative(bt.Prog, bt.World, workers, cfg.Seed, cfg.Costs)
+	if err != nil {
+		panic(fmt.Sprintf("exp: native %s: %v", name, err))
+	}
+	return res
+}
+
+// record runs DoublePlay recording on a fresh instance.
+func record(name string, workers, spares int, cfg Config) (*core.Result, *workloads.Built) {
+	_, bt := build(name, workers, cfg)
+	res, err := core.Record(bt.Prog, bt.World, core.Options{
+		Workers:     workers,
+		RecordCPUs:  workers,
+		SpareCPUs:   spares,
+		EpochCycles: cfg.EpochCycles,
+		Seed:        cfg.Seed,
+		Costs:       cfg.Costs,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("exp: record %s: %v", name, err))
+	}
+	return res, bt
+}
+
+// osFor wraps a built workload's world in the syscall handler.
+func osFor(bt *workloads.Built) vm.SyscallHandler { return simos.NewOS(bt.World) }
+
+// coreRecordNoGate records with sync-order enforcement disabled and returns
+// the divergence count (the ablation configuration).
+func coreRecordNoGate(bt *workloads.Built, workers int, cfg Config) (int, error) {
+	res, err := core.Record(bt.Prog, bt.World, core.Options{
+		Workers:                workers,
+		RecordCPUs:             workers,
+		SpareCPUs:              workers,
+		EpochCycles:            cfg.EpochCycles,
+		Seed:                   cfg.Seed,
+		Costs:                  cfg.Costs,
+		DisableSyncEnforcement: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Stats.Divergences, nil
+}
+
+// pct formats a ratio-1 as a percentage.
+func pct(over float64) string { return fmt.Sprintf("%.1f%%", over*100) }
+
+// ratio formats a ratio with two decimals and an x suffix.
+func ratio(r float64) string { return fmt.Sprintf("%.2fx", r) }
+
+// Table renders rows as an aligned text table.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// mean returns the arithmetic mean.
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}

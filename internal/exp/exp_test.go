@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickCfg restricts experiments to a two-workload subset so the harness
+// logic is exercised end to end without running the full evaluation.
+func quickCfg() Config {
+	return Config{Seed: 13, Workloads: []string{"kvdb", "radix"}}
+}
+
+func TestOverheadRowsSane(t *testing.T) {
+	rows := Overhead(quickCfg(), 2, 2)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NativeCyc <= 0 || r.RecordCyc <= r.NativeCyc {
+			t.Fatalf("implausible row: %+v", r)
+		}
+		if r.Overhead < 0 || r.Overhead > 3 {
+			t.Fatalf("overhead out of band: %+v", r)
+		}
+		if r.Divergences != 0 {
+			t.Fatalf("race-free workload diverged: %+v", r)
+		}
+	}
+	if m := MeanOverhead(rows); m <= 0 || m > 3 {
+		t.Fatalf("mean overhead %f", m)
+	}
+}
+
+func TestUtilizedCostsMoreThanSpare(t *testing.T) {
+	cfg := quickCfg()
+	spare := MeanOverhead(Overhead(cfg, 2, 2))
+	util := MeanOverhead(Overhead(cfg, 2, 0))
+	if util <= spare {
+		t.Fatalf("utilized (%f) not costlier than spare (%f)", util, spare)
+	}
+	// The utilized configuration runs both executions on the same cores:
+	// expect roughly a doubling.
+	if util < 0.5 || util > 2.0 {
+		t.Fatalf("utilized overhead %f outside the ~2x band", util)
+	}
+}
+
+func TestFourThreadsCostMoreThanTwo(t *testing.T) {
+	cfg := quickCfg()
+	two := MeanOverhead(Overhead(cfg, 2, 2))
+	four := MeanOverhead(Overhead(cfg, 4, 4))
+	if four <= two {
+		t.Fatalf("4-thread overhead (%f) not above 2-thread (%f)", four, two)
+	}
+}
+
+func TestLogSizeRowsSane(t *testing.T) {
+	rows := LogSize(quickCfg())
+	for _, r := range rows {
+		if r.DPBytes <= 0 || r.CrewBytes <= 0 || r.UniBytes <= 0 {
+			t.Fatalf("empty logs: %+v", r)
+		}
+		// DoublePlay's log never exceeds CREW's (which needs order + input).
+		if r.DPBytes > r.CrewBytes {
+			t.Fatalf("dp log larger than crew: %+v", r)
+		}
+	}
+}
+
+func TestReplaySpeedShape(t *testing.T) {
+	rows := ReplaySpeed(quickCfg(), 4)
+	for _, r := range rows {
+		if r.SeqRatio < 1.5 {
+			t.Fatalf("sequential replay implausibly fast for a compute workload: %+v", r)
+		}
+		if r.ParRatio > r.SeqRatio {
+			t.Fatalf("parallel replay slower than sequential: %+v", r)
+		}
+		if r.ParRatio > 1.6 {
+			t.Fatalf("epoch-parallel replay should be near-native: %+v", r)
+		}
+	}
+}
+
+func TestDivergenceExperimentRecovers(t *testing.T) {
+	cfg := Config{Seed: 13}
+	rows := Divergence(cfg, 3)
+	if len(rows) != len(RacySet) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ReplaysOK != r.Seeds {
+			t.Fatalf("not every recording replayed: %+v", r)
+		}
+		if r.RacyAddrs == 0 {
+			t.Fatalf("race detector found nothing on %s", r.Workload)
+		}
+	}
+}
+
+func TestSpareSweepMonotoneAboveW(t *testing.T) {
+	cfg := Config{Seed: 13}
+	rows := SpareSweep(cfg)
+	byWl := map[string]map[int]float64{}
+	for _, r := range rows {
+		if byWl[r.Workload] == nil {
+			byWl[r.Workload] = map[int]float64{}
+		}
+		byWl[r.Workload][r.Spares] = r.Overhead
+	}
+	for wl, pts := range byWl {
+		// With spares >= workers (4), adding more spares must not help.
+		if pts[8] > pts[4]+0.02 {
+			t.Fatalf("%s: overhead grew past saturation: %v", wl, pts)
+		}
+		// Fewer spares than workers must hurt.
+		if pts[2] <= pts[4] {
+			t.Fatalf("%s: starved pipeline not slower: %v", wl, pts)
+		}
+	}
+}
+
+func TestAblationShowsGateValue(t *testing.T) {
+	cfg := Config{Seed: 13, Workloads: []string{"kvdb", "fft"}}
+	rows := Ablation(cfg)
+	var kvdb, fft AblationRow
+	for _, r := range rows {
+		switch r.Workload {
+		case "kvdb":
+			kvdb = r
+		case "fft":
+			fft = r
+		}
+	}
+	if kvdb.DivWithGate != 0 {
+		t.Fatalf("kvdb diverged with the gate: %+v", kvdb)
+	}
+	if kvdb.DivNoGate == 0 {
+		t.Fatalf("kvdb (lock-striped) should diverge without the gate: %+v", kvdb)
+	}
+	if fft.DivNoGate != 0 {
+		t.Fatalf("fft (barrier-only) should not need the gate: %+v", fft)
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	cfg := quickCfg()
+	var buf bytes.Buffer
+	RenderOverhead(&buf, cfg, 2, 2, "F1 test")
+	RenderLogSize(&buf, cfg)
+	out := buf.String()
+	for _, want := range []string{"F1 test", "AVERAGE", "kvdb", "radix", "dp bytes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, "Title", []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	out := buf.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "333") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}

@@ -1,0 +1,340 @@
+// Package mem implements the paged, copy-on-write guest memory that backs
+// every execution in the DoublePlay simulator.
+//
+// Memory is word-addressed (one 64-bit word per address) and sparsely paged:
+// a page that has never been written reads as zero and occupies no storage.
+// Snapshots are O(pages) reference bumps; the first write to a shared page
+// after a snapshot copies that page (copy-on-write). This mirrors the
+// fork-based checkpointing the original DoublePlay kernel used: taking a
+// checkpoint is cheap, and the cost of a checkpoint is paid lazily by
+// whichever execution writes first.
+//
+// Per-page content hashes are cached so that comparing two memory images —
+// the divergence check DoublePlay performs at every epoch boundary — costs
+// O(pages written since the hash was last computed), not O(address space).
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// PageShift determines the page size: 1<<PageShift words per page.
+const PageShift = 10
+
+// PageWords is the number of 64-bit words in one page.
+const PageWords = 1 << PageShift
+
+// pageMask extracts the in-page offset from an address.
+const pageMask = PageWords - 1
+
+// Word is the unit of guest memory and guest arithmetic.
+type Word = int64
+
+// page is a refcounted block of guest words. A page with refs > 1 is shared
+// between memories/snapshots and must be copied before being written.
+type page struct {
+	refs  atomic.Int32
+	data  [PageWords]Word
+	hash  uint64 // cached content hash; valid iff hashOK
+	hashOK bool
+}
+
+func newPage() *page {
+	p := &page{}
+	p.refs.Store(1)
+	return p
+}
+
+// clone returns a private copy of p with refs == 1.
+func (p *page) clone() *page {
+	c := &page{data: p.data, hash: p.hash, hashOK: p.hashOK}
+	c.refs.Store(1)
+	return c
+}
+
+// contentHash returns the FNV-1a hash of the page body, caching the result.
+// Only the owner of a writable memory calls this, so the cache fields need
+// no synchronisation beyond the sharing discipline (shared pages are
+// immutable, and their cached hash was computed before they became shared or
+// is recomputed identically by each sharer).
+func (p *page) contentHash() uint64 {
+	if p.hashOK {
+		return p.hash
+	}
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for _, w := range p.data {
+		x := uint64(w)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	p.hash = h
+	p.hashOK = true
+	return h
+}
+
+// zeroPageHash is the content hash of an all-zero page, used to canonicalise
+// hashes so that an explicitly-zeroed page and a never-touched page produce
+// identical memory hashes.
+var zeroPageHash = func() uint64 {
+	return newPage().contentHash()
+}()
+
+// Stats counts copy-on-write activity, which the cost model charges as
+// checkpoint overhead.
+type Stats struct {
+	PagesCopied int64 // pages duplicated by copy-on-write
+	PagesNew    int64 // pages materialised by a first write
+	Loads       int64
+	Stores      int64
+}
+
+// Memory is a writable guest address space.
+//
+// A Memory is not safe for concurrent mutation; each simulated execution owns
+// exactly one. Distinct Memory values may share pages through snapshots, and
+// the copy-on-write protocol makes concurrent use of *different* memories
+// that share pages safe (shared pages are read-only by construction).
+type Memory struct {
+	pages map[Word]*page
+	stats Stats
+}
+
+// New returns an empty memory in which every address reads zero.
+func New() *Memory {
+	return &Memory{pages: make(map[Word]*page)}
+}
+
+// Load returns the word at addr.
+func (m *Memory) Load(addr Word) Word {
+	m.stats.Loads++
+	p, ok := m.pages[addr>>PageShift]
+	if !ok {
+		return 0
+	}
+	return p.data[addr&pageMask]
+}
+
+// Peek returns the word at addr without counting a load; used by inspection
+// and comparison code paths that should not perturb statistics.
+func (m *Memory) Peek(addr Word) Word {
+	p, ok := m.pages[addr>>PageShift]
+	if !ok {
+		return 0
+	}
+	return p.data[addr&pageMask]
+}
+
+// writablePage returns the page containing addr, materialising or privatising
+// it as needed so the caller may write to it.
+func (m *Memory) writablePage(idx Word) *page {
+	p, ok := m.pages[idx]
+	if !ok {
+		p = newPage()
+		m.pages[idx] = p
+		m.stats.PagesNew++
+		return p
+	}
+	if p.refs.Load() > 1 {
+		c := p.clone()
+		p.refs.Add(-1)
+		m.pages[idx] = c
+		m.stats.PagesCopied++
+		return c
+	}
+	return p
+}
+
+// Store writes val at addr, copying the containing page first if it is
+// shared with a snapshot. Writing zero to an unmaterialised page is a no-op,
+// so zero-filled data segments stay sparse.
+func (m *Memory) Store(addr Word, val Word) {
+	m.stats.Stores++
+	idx := addr >> PageShift
+	if _, ok := m.pages[idx]; !ok && val == 0 {
+		return
+	}
+	p := m.writablePage(idx)
+	off := addr & pageMask
+	if p.data[off] == val {
+		return
+	}
+	p.data[off] = val
+	p.hashOK = false
+}
+
+// StoreRange writes vals at consecutive addresses starting at addr.
+func (m *Memory) StoreRange(addr Word, vals []Word) {
+	for i, v := range vals {
+		m.Store(addr+Word(i), v)
+	}
+}
+
+// LoadRange reads n consecutive words starting at addr.
+func (m *Memory) LoadRange(addr Word, n int) []Word {
+	out := make([]Word, n)
+	for i := range out {
+		out[i] = m.Load(addr + Word(i))
+	}
+	return out
+}
+
+// Stats returns accumulated access and copy-on-write counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters; the cost model does this at epoch
+// boundaries to charge copy-on-write traffic to the correct epoch.
+func (m *Memory) ResetStats() { m.stats = Stats{} }
+
+// PageCount reports the number of materialised pages.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Hash returns an order-independent hash of the full memory image.
+// Semantically equal memories (same value at every address) hash equally
+// regardless of paging history: all-zero pages contribute nothing.
+func (m *Memory) Hash() uint64 {
+	var h uint64
+	for idx, p := range m.pages {
+		ch := p.contentHash()
+		if ch == zeroPageHash {
+			continue
+		}
+		h ^= mix(uint64(idx), ch)
+	}
+	return h
+}
+
+// mix combines a page index with its content hash into a single word with
+// good avalanche behaviour, so that xor-combining across pages is safe.
+func mix(idx, content uint64) uint64 {
+	x := idx*0x9e3779b97f4a7c15 ^ content
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Snapshot freezes the current contents. The snapshot shares pages with m;
+// subsequent writes to m copy pages lazily and never disturb the snapshot.
+func (m *Memory) Snapshot() *Snapshot {
+	pages := make(map[Word]*page, len(m.pages))
+	for idx, p := range m.pages {
+		p.refs.Add(1)
+		pages[idx] = p
+	}
+	return &Snapshot{pages: pages}
+}
+
+// Clone returns an independent writable memory with the same contents,
+// sharing pages copy-on-write with m.
+func (m *Memory) Clone() *Memory {
+	pages := make(map[Word]*page, len(m.pages))
+	for idx, p := range m.pages {
+		p.refs.Add(1)
+		pages[idx] = p
+	}
+	return &Memory{pages: pages}
+}
+
+// DiffPages returns the indices of pages whose content differs between m and
+// other, including pages present in only one of them (unless all-zero).
+// Used by divergence diagnostics to report *where* two executions differ.
+func (m *Memory) DiffPages(other *Memory) []Word {
+	var out []Word
+	seen := make(map[Word]bool)
+	for idx, p := range m.pages {
+		seen[idx] = true
+		q, ok := other.pages[idx]
+		if ok {
+			if p == q || p.contentHash() == q.contentHash() {
+				continue
+			}
+			out = append(out, idx)
+			continue
+		}
+		if p.contentHash() != zeroPageHash {
+			out = append(out, idx)
+		}
+	}
+	for idx, q := range other.pages {
+		if seen[idx] {
+			continue
+		}
+		if q.contentHash() != zeroPageHash {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Snapshot is an immutable memory image. It can be rehydrated into a
+// writable Memory in O(pages) without copying page bodies.
+type Snapshot struct {
+	pages    map[Word]*page
+	released bool
+}
+
+// Restore returns a writable memory whose initial contents equal the
+// snapshot. Pages are shared copy-on-write.
+func (s *Snapshot) Restore() *Memory {
+	if s.released {
+		panic("mem: Restore on released snapshot")
+	}
+	pages := make(map[Word]*page, len(s.pages))
+	for idx, p := range s.pages {
+		p.refs.Add(1)
+		pages[idx] = p
+	}
+	return &Memory{pages: pages}
+}
+
+// Hash returns the order-independent content hash of the snapshot.
+func (s *Snapshot) Hash() uint64 {
+	var h uint64
+	for idx, p := range s.pages {
+		ch := p.contentHash()
+		if ch == zeroPageHash {
+			continue
+		}
+		h ^= mix(uint64(idx), ch)
+	}
+	return h
+}
+
+// Peek reads a word from the snapshot.
+func (s *Snapshot) Peek(addr Word) Word {
+	p, ok := s.pages[addr>>PageShift]
+	if !ok {
+		return 0
+	}
+	return p.data[addr&pageMask]
+}
+
+// PageCount reports the number of pages retained by the snapshot.
+func (s *Snapshot) PageCount() int { return len(s.pages) }
+
+// Release drops the snapshot's page references so future writes by sharers
+// need not copy. Using the snapshot after Release panics.
+func (s *Snapshot) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	for _, p := range s.pages {
+		p.refs.Add(-1)
+	}
+	s.pages = nil
+}
+
+// String summarises the snapshot for debugging.
+func (s *Snapshot) String() string {
+	if s.released {
+		return "Snapshot(released)"
+	}
+	return fmt.Sprintf("Snapshot(%d pages, hash=%016x)", len(s.pages), s.Hash())
+}

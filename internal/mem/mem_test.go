@@ -1,0 +1,306 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroReads(t *testing.T) {
+	m := New()
+	for _, addr := range []Word{0, 1, PageWords - 1, PageWords, 1 << 30, -5} {
+		if got := m.Load(addr); got != 0 {
+			t.Fatalf("Load(%d) = %d on empty memory", addr, got)
+		}
+	}
+	if m.PageCount() != 0 {
+		t.Fatalf("empty memory has %d pages", m.PageCount())
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	m := New()
+	m.Store(7, 42)
+	m.Store(PageWords+3, -9)
+	m.Store(7, 43)
+	if got := m.Load(7); got != 43 {
+		t.Fatalf("Load(7) = %d, want 43", got)
+	}
+	if got := m.Load(PageWords + 3); got != -9 {
+		t.Fatalf("Load = %d, want -9", got)
+	}
+	if m.PageCount() != 2 {
+		t.Fatalf("pages = %d, want 2", m.PageCount())
+	}
+}
+
+func TestZeroStoreStaysSparse(t *testing.T) {
+	m := New()
+	for i := Word(0); i < 10*PageWords; i += PageWords {
+		m.Store(i, 0)
+	}
+	if m.PageCount() != 0 {
+		t.Fatalf("zero stores materialised %d pages", m.PageCount())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	m := New()
+	m.Store(5, 1)
+	m.Store(PageWords+5, 2)
+	snap := m.Snapshot()
+	m.Store(5, 100)
+	m.Store(2*PageWords, 3)
+	if got := snap.Peek(5); got != 1 {
+		t.Fatalf("snapshot saw later write: %d", got)
+	}
+	if got := snap.Peek(2 * PageWords); got != 0 {
+		t.Fatalf("snapshot saw page created later: %d", got)
+	}
+	if got := m.Load(5); got != 100 {
+		t.Fatalf("memory lost its write: %d", got)
+	}
+	// Restore gives the snapshot contents back.
+	r := snap.Restore()
+	if got := r.Load(5); got != 1 {
+		t.Fatalf("restore Load(5) = %d, want 1", got)
+	}
+	// Writes to the restored memory do not leak anywhere.
+	r.Store(5, 77)
+	if snap.Peek(5) != 1 || m.Load(5) != 100 {
+		t.Fatal("restored memory write leaked into snapshot or original")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New()
+	m.Store(1, 10)
+	c := m.Clone()
+	c.Store(1, 20)
+	m.Store(2, 30)
+	if m.Load(1) != 10 || c.Load(1) != 20 || c.Load(2) != 0 {
+		t.Fatal("clone and original are entangled")
+	}
+}
+
+func TestHashSemanticEquality(t *testing.T) {
+	a, b := New(), New()
+	a.Store(3, 9)
+	a.Store(PageWords*7, 5)
+	b.Store(PageWords*7, 5)
+	b.Store(3, 9)
+	if a.Hash() != b.Hash() {
+		t.Fatal("same contents, different hashes")
+	}
+	// A page written then zeroed hashes like an untouched page.
+	c := New()
+	c.Store(3, 9)
+	c.Store(PageWords*7, 5)
+	c.Store(PageWords*3, 1)
+	c.Store(PageWords*3, 0)
+	if c.Hash() != a.Hash() {
+		t.Fatal("explicitly-zeroed page changed the hash")
+	}
+	b.Store(4, 1)
+	if a.Hash() == b.Hash() {
+		t.Fatal("different contents, same hash")
+	}
+}
+
+func TestSnapshotHashMatchesMemory(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		m.Store(Word(i*37), Word(i))
+	}
+	snap := m.Snapshot()
+	if snap.Hash() != m.Hash() {
+		t.Fatal("snapshot hash differs from memory hash at capture")
+	}
+	m.Store(0, 999)
+	if snap.Hash() == m.Hash() {
+		t.Fatal("hashes still equal after divergence")
+	}
+}
+
+func TestCopyOnWriteStats(t *testing.T) {
+	m := New()
+	m.Store(0, 1)
+	m.ResetStats()
+	snap := m.Snapshot()
+	m.Store(1, 2) // same page, shared -> copy
+	st := m.Stats()
+	if st.PagesCopied != 1 {
+		t.Fatalf("PagesCopied = %d, want 1", st.PagesCopied)
+	}
+	m.Store(2, 3) // now private, no copy
+	if m.Stats().PagesCopied != 1 {
+		t.Fatal("second write to private page copied again")
+	}
+	snap.Release()
+}
+
+func TestReleaseAllowsInPlaceWrites(t *testing.T) {
+	m := New()
+	m.Store(0, 1)
+	snap := m.Snapshot()
+	snap.Release()
+	m.ResetStats()
+	m.Store(1, 2)
+	if m.Stats().PagesCopied != 0 {
+		t.Fatal("write after release still copied the page")
+	}
+}
+
+func TestRestoreAfterReleasePanics(t *testing.T) {
+	m := New()
+	m.Store(0, 1)
+	snap := m.Snapshot()
+	snap.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Restore on released snapshot did not panic")
+		}
+	}()
+	snap.Restore()
+}
+
+func TestDiffPages(t *testing.T) {
+	a, b := New(), New()
+	a.Store(0, 1)
+	b.Store(0, 1)
+	if d := a.DiffPages(b); len(d) != 0 {
+		t.Fatalf("equal memories diff: %v", d)
+	}
+	b.Store(PageWords*5, 7)
+	d := a.DiffPages(b)
+	if len(d) != 1 || d[0] != 5 {
+		t.Fatalf("diff = %v, want [5]", d)
+	}
+	a.Store(1, 2)
+	if d := a.DiffPages(b); len(d) != 2 {
+		t.Fatalf("diff = %v, want two pages", d)
+	}
+}
+
+func TestStoreRangeLoadRange(t *testing.T) {
+	m := New()
+	vals := []Word{1, 2, 3, 4, 5}
+	m.StoreRange(PageWords-2, vals) // crosses a page boundary
+	got := m.LoadRange(PageWords-2, 5)
+	for i, v := range vals {
+		if got[i] != v {
+			t.Fatalf("LoadRange[%d] = %d, want %d", i, got[i], v)
+		}
+	}
+}
+
+// TestQuickMemoryVsModel drives random operations against both the paged
+// memory and a plain map, checking every read and the final hash-equality
+// property between two independently built instances.
+func TestQuickMemoryVsModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New()
+		model := make(map[Word]Word)
+		var snaps []*Snapshot
+		var snapModels []map[Word]Word
+		for op := 0; op < 500; op++ {
+			addr := Word(rng.Intn(4 * PageWords))
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				v := Word(rng.Intn(100) - 50)
+				m.Store(addr, v)
+				model[addr] = v
+			case 3:
+				if m.Load(addr) != model[addr] {
+					return false
+				}
+			case 4:
+				if len(snaps) < 4 {
+					snaps = append(snaps, m.Snapshot())
+					sm := make(map[Word]Word, len(model))
+					for k, v := range model {
+						sm[k] = v
+					}
+					snapModels = append(snapModels, sm)
+				}
+			}
+		}
+		for i, s := range snaps {
+			for k, v := range snapModels[i] {
+				if s.Peek(k) != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHashAgreement builds the same contents along two different write
+// paths and requires equal hashes.
+func TestQuickHashAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		writes := make(map[Word]Word)
+		for i := 0; i < 200; i++ {
+			writes[Word(rng.Intn(3*PageWords))] = Word(rng.Int63())
+		}
+		a, b := New(), New()
+		for k, v := range writes {
+			a.Store(k, v)
+		}
+		// b takes a noisy path: scribble then fix up.
+		for k := range writes {
+			b.Store(k, 123456)
+		}
+		b.Store(2*PageWords+1, 42)
+		for k, v := range writes {
+			b.Store(k, v)
+		}
+		if _, scribbled := writes[2*PageWords+1]; !scribbled {
+			b.Store(2*PageWords+1, 0)
+		}
+		return a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStore(b *testing.B) {
+	m := New()
+	for i := 0; i < b.N; i++ {
+		m.Store(Word(i&0xffff), Word(i))
+	}
+}
+
+func BenchmarkSnapshotRestore(b *testing.B) {
+	m := New()
+	for i := 0; i < 64*PageWords; i += 17 {
+		m.Store(Word(i), Word(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := m.Snapshot()
+		r := s.Restore()
+		r.Store(0, Word(i))
+		s.Release()
+	}
+}
+
+func BenchmarkHashCached(b *testing.B) {
+	m := New()
+	for i := 0; i < 64*PageWords; i += 3 {
+		m.Store(Word(i), Word(i))
+	}
+	m.Hash()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Store(5, Word(i)) // dirty one page
+		_ = m.Hash()
+	}
+}

@@ -1,0 +1,227 @@
+// Package replay reproduces recorded executions. Because every epoch of
+// the logged execution ran on a single simulated CPU, replaying it needs
+// only the timeslice schedule and the recorded syscall results — and
+// because epochs start from retained checkpoints, they can be replayed
+// concurrently on real host cores (epoch-parallel replay), which is how
+// DoublePlay makes replay as scalable as recording.
+package replay
+
+import (
+	"fmt"
+	"sync"
+
+	"doubleplay/internal/dplog"
+	"doubleplay/internal/epoch"
+	"doubleplay/internal/sched"
+	"doubleplay/internal/vm"
+)
+
+// Result reports a completed replay.
+type Result struct {
+	// Cycles is the modelled completion time: total serialized cycles for
+	// sequential replay, pipeline makespan for parallel replay.
+	Cycles    int64
+	FinalHash uint64
+	Epochs    int
+}
+
+// epochCost returns the modelled duration of replaying one epoch.
+func epochCost(uniCycles int64, injected int, costs *vm.CostModel) int64 {
+	return uniCycles + int64(injected)*costs.InjectSysEvent
+}
+
+// runEpoch replays one epoch on machine m (already positioned at the
+// epoch's start state) and verifies its end hash.
+func runEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel) (int64, error) {
+	inj := epoch.NewInjectOS(ep.Syscalls)
+	m.OS = inj
+	sigs := epoch.NewInjectSignals(ep.Signals)
+	m.Hooks.PendingSignal = sigs.Pending
+	uni := sched.NewUni(m)
+	uni.Follow = ep.Schedule
+	uni.Targets = ep.Targets
+	if err := uni.Run(); err != nil {
+		return 0, fmt.Errorf("replay: epoch %d: %w", ep.Index, err)
+	}
+	if r := inj.Remaining(); r != 0 {
+		return 0, fmt.Errorf("replay: epoch %d: %d recorded syscalls never issued", ep.Index, r)
+	}
+	if r := sigs.Remaining(); r != 0 {
+		return 0, fmt.Errorf("replay: epoch %d: %d recorded signals never delivered", ep.Index, r)
+	}
+	if h := m.StateHash(); h != ep.EndHash {
+		return 0, fmt.Errorf("replay: epoch %d: end state hash %016x != recorded %016x",
+			ep.Index, h, ep.EndHash)
+	}
+	return epochCost(uni.Cycles, inj.Injected, costs), nil
+}
+
+// Sequential replays the recording epoch by epoch on one simulated CPU,
+// starting from program reset. It verifies every epoch boundary hash and
+// the final hash.
+func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel) (*Result, error) {
+	if costs == nil {
+		costs = vm.DefaultCosts()
+	}
+	m := vm.NewMachine(prog, nil, costs)
+	res := &Result{}
+	for _, ep := range rec.Epochs {
+		if h := m.StateHash(); h != ep.StartHash {
+			return nil, fmt.Errorf("replay: epoch %d: start state hash %016x != recorded %016x",
+				ep.Index, h, ep.StartHash)
+		}
+		c, err := runEpoch(m, ep, costs)
+		if err != nil {
+			return nil, err
+		}
+		res.Cycles += c
+		res.Epochs++
+	}
+	res.FinalHash = m.StateHash()
+	if res.FinalHash != rec.FinalHash {
+		return nil, fmt.Errorf("replay: final hash %016x != recorded %016x", res.FinalHash, rec.FinalHash)
+	}
+	return res, nil
+}
+
+// Parallel replays every epoch concurrently from the retained epoch-start
+// checkpoints, using real host goroutines — the epochs are independent
+// machines sharing pages copy-on-write. The modelled wall time is the
+// makespan of packing epoch durations onto cpus cores.
+func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Boundary, cpus int, costs *vm.CostModel) (*Result, error) {
+	if costs == nil {
+		costs = vm.DefaultCosts()
+	}
+	if cpus < 1 {
+		cpus = 1
+	}
+	if len(boundaries) != len(rec.Epochs)+1 {
+		return nil, fmt.Errorf("replay: %d boundaries for %d epochs", len(boundaries), len(rec.Epochs))
+	}
+
+	durs := make([]int64, len(rec.Epochs))
+	errs := make([]error, len(rec.Epochs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cpus)
+	for i, ep := range rec.Epochs {
+		if boundaries[i].Hash != ep.StartHash {
+			return nil, fmt.Errorf("replay: epoch %d: checkpoint hash %016x != recorded start %016x",
+				ep.Index, boundaries[i].Hash, ep.StartHash)
+		}
+		wg.Add(1)
+		go func(i int, ep *dplog.EpochLog) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m := boundaries[i].CP.Restore(prog, nil, costs)
+			durs[i], errs[i] = runEpoch(m, ep, costs)
+		}(i, ep)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return &Result{Cycles: makespan(durs, cpus), FinalHash: rec.FinalHash, Epochs: len(rec.Epochs)}, nil
+}
+
+// makespan packs durations greedily onto cpus cores in index order.
+func makespan(durs []int64, cpus int) int64 {
+	free := make([]int64, cpus)
+	var wall int64
+	for _, d := range durs {
+		c := 0
+		for j := 1; j < cpus; j++ {
+			if free[j] < free[c] {
+				c = j
+			}
+		}
+		free[c] += d
+		if free[c] > wall {
+			wall = free[c]
+		}
+	}
+	return wall
+}
+
+// ParallelSparse replays from a thinned set of retained checkpoints:
+// each retained boundary anchors a segment of consecutive epochs replayed
+// sequentially, and segments run concurrently. This trades replay
+// parallelism for checkpoint memory — with stride k, only 1/k of the
+// epoch-start checkpoints need to be kept.
+//
+// The sparse slice must be ordered by Boundary.Index, start at epoch 0, and
+// its boundaries must be epoch boundaries of rec (core.Result.ThinBoundaries
+// produces a valid set).
+func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel) (*Result, error) {
+	if costs == nil {
+		costs = vm.DefaultCosts()
+	}
+	if cpus < 1 {
+		cpus = 1
+	}
+	if len(sparse) == 0 || sparse[0].Index != 0 {
+		return nil, fmt.Errorf("replay: sparse boundaries must start at epoch 0")
+	}
+
+	// Segment k covers epochs [sparse[k].Index, end_k) where end_k is the
+	// next boundary's index (or the end of the recording).
+	type segment struct {
+		start  *epoch.Boundary
+		epochs []*dplog.EpochLog
+	}
+	var segs []segment
+	for k, b := range sparse {
+		end := len(rec.Epochs)
+		if k+1 < len(sparse) {
+			end = sparse[k+1].Index
+		}
+		if b.Index > end || end > len(rec.Epochs) {
+			return nil, fmt.Errorf("replay: sparse boundary %d covers invalid range [%d,%d)", k, b.Index, end)
+		}
+		if b.Index == end {
+			continue // trailing boundary
+		}
+		if b.Hash != rec.Epochs[b.Index].StartHash {
+			return nil, fmt.Errorf("replay: boundary for epoch %d has hash %016x, recording says %016x",
+				b.Index, b.Hash, rec.Epochs[b.Index].StartHash)
+		}
+		segs = append(segs, segment{start: b, epochs: rec.Epochs[b.Index:end]})
+	}
+
+	durs := make([]int64, len(segs))
+	errs := make([]error, len(segs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cpus)
+	for i, sg := range segs {
+		wg.Add(1)
+		go func(i int, sg segment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m := sg.start.CP.Restore(prog, nil, costs)
+			for _, ep := range sg.epochs {
+				if h := m.StateHash(); h != ep.StartHash {
+					errs[i] = fmt.Errorf("replay: epoch %d: segment state %016x != recorded start %016x",
+						ep.Index, h, ep.StartHash)
+					return
+				}
+				c, err := runEpoch(m, ep, costs)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				durs[i] += c
+			}
+		}(i, sg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Cycles: makespan(durs, cpus), FinalHash: rec.FinalHash, Epochs: len(rec.Epochs)}, nil
+}

@@ -1,0 +1,293 @@
+// Package sched drives vm machines under the two execution disciplines
+// DoublePlay composes: a discrete-event multiprocessor scheduler (the
+// thread-parallel execution) and a deterministic uniprocessor timeslicing
+// scheduler (the epoch-parallel execution and replay).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"doubleplay/internal/dplog"
+	"doubleplay/internal/vm"
+)
+
+// ErrDeadlock reports that no thread can make progress.
+var ErrDeadlock = errors.New("sched: deadlock — no thread can make progress")
+
+// DefaultQuantum is the timeslice length, in retired instructions, used by
+// both schedulers when multiplexing threads on one CPU.
+const DefaultQuantum = 2000
+
+// sysPollInterval is how often, in cycles, a thread blocked in a syscall
+// re-attempts it.
+const sysPollInterval = 200
+
+// Parallel is a discrete-event simulation of an SMP running the guest
+// machine: each CPU has its own clock, the CPU with the smallest clock
+// executes the next instruction of its bound thread, and unbound runnable
+// threads are dispatched to free CPUs round-robin. Instruction costs carry
+// seeded jitter so different seeds produce different interleavings of racy
+// accesses, modelling real hardware timing variation.
+type Parallel struct {
+	M       *vm.Machine
+	CPUs    int
+	Quantum int64
+
+	cpus     []pcpu
+	rng      *rand.Rand
+	scanFrom int // round-robin cursor for dispatch fairness
+	sysPoll  map[int]int64
+	retired  int64
+}
+
+type pcpu struct {
+	clock   int64
+	tid     int // bound thread, or -1
+	sliceN  int64
+}
+
+// NewParallel builds a scheduler for m over the given number of CPUs.
+func NewParallel(m *vm.Machine, cpus int, seed int64) *Parallel {
+	if cpus < 1 {
+		cpus = 1
+	}
+	p := &Parallel{
+		M:       m,
+		CPUs:    cpus,
+		Quantum: DefaultQuantum,
+		cpus:    make([]pcpu, cpus),
+		rng:     rand.New(rand.NewSource(seed)),
+		sysPoll: make(map[int]int64),
+	}
+	for i := range p.cpus {
+		p.cpus[i].tid = -1
+	}
+	return p
+}
+
+// Now returns the frontier of simulated time: the smallest CPU clock, which
+// is the cycle at which the next instruction will execute.
+func (p *Parallel) Now() int64 {
+	min := p.cpus[0].clock
+	for _, c := range p.cpus[1:] {
+		if c.clock < min {
+			min = c.clock
+		}
+	}
+	return min
+}
+
+// WallTime returns the completion time so far: the largest CPU clock.
+func (p *Parallel) WallTime() int64 {
+	max := p.cpus[0].clock
+	for _, c := range p.cpus[1:] {
+		if c.clock > max {
+			max = c.clock
+		}
+	}
+	return max
+}
+
+// Retired returns the total instructions retired under this scheduler.
+func (p *Parallel) Retired() int64 { return p.retired }
+
+// minCPU returns the index of the CPU with the smallest clock.
+func (p *Parallel) minCPU() int {
+	best := 0
+	for i := 1; i < len(p.cpus); i++ {
+		if p.cpus[i].clock < p.cpus[best].clock {
+			best = i
+		}
+	}
+	return best
+}
+
+// boundElsewhere reports whether tid is bound to any CPU.
+func (p *Parallel) boundElsewhere(tid int) bool {
+	for i := range p.cpus {
+		if p.cpus[i].tid == tid {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch finds work for CPU ci: an unbound runnable thread, or an unbound
+// syscall-blocked thread whose poll timer has expired.
+func (p *Parallel) dispatch(ci int) *vm.Thread {
+	threads := p.M.Threads
+	n := len(threads)
+	if n == 0 {
+		return nil
+	}
+	for k := 0; k < n; k++ {
+		t := threads[(p.scanFrom+k)%n]
+		if t.Status == vm.Runnable && !p.boundElsewhere(t.ID) {
+			p.scanFrom = (p.scanFrom + k + 1) % n
+			p.cpus[ci].tid = t.ID
+			p.cpus[ci].sliceN = 0
+			return t
+		}
+	}
+	clock := p.cpus[ci].clock
+	for k := 0; k < n; k++ {
+		t := threads[(p.scanFrom+k)%n]
+		if t.Status == vm.BlockedSys && !p.boundElsewhere(t.ID) && p.sysPoll[t.ID] <= clock {
+			p.cpus[ci].tid = t.ID
+			p.cpus[ci].sliceN = 0
+			return t
+		}
+	}
+	return nil
+}
+
+// unbind releases CPU ci's thread.
+func (p *Parallel) unbind(ci int) {
+	p.cpus[ci].tid = -1
+	p.cpus[ci].sliceN = 0
+}
+
+// RunUntil executes until every CPU's clock reaches limit, the machine
+// terminates, or no progress is possible. It returns ErrDeadlock (wrapped
+// with machine state) when live threads exist but none can ever run.
+func (p *Parallel) RunUntil(limit int64) error {
+	idleStreak := 0
+	for !p.M.Done() {
+		ci := p.minCPU()
+		cpu := &p.cpus[ci]
+		if cpu.clock >= limit {
+			return nil
+		}
+		t := p.threadOf(ci)
+		if t == nil {
+			t = p.dispatch(ci)
+		}
+		if t == nil {
+			// Nothing for this CPU. If some thread is blocked in a syscall,
+			// time itself will unblock it: hop the clock to the next poll.
+			if next, ok := p.nextSysPoll(); ok {
+				if next <= cpu.clock {
+					next = cpu.clock + 1
+				}
+				cpu.clock = next
+				idleStreak++
+				if idleStreak > 1<<20 {
+					return fmt.Errorf("sched: livelock polling syscalls\n%s", p.M.DescribeState())
+				}
+				continue
+			}
+			if p.anyRunnable() {
+				// Runnable work exists but is bound to busier CPUs; idle
+				// briefly and retry (models an idle core waiting for work).
+				cpu.clock += 10
+				idleStreak++
+				if idleStreak > 1<<20 {
+					return fmt.Errorf("sched: livelock waiting for work\n%s", p.M.DescribeState())
+				}
+				continue
+			}
+			return fmt.Errorf("%w\n%s", ErrDeadlock, p.M.DescribeState())
+		}
+		idleStreak = 0
+		p.M.Now = cpu.clock
+		res := p.M.Step(t)
+		if res.Retired {
+			p.retired++
+			cost := res.Cost
+			// Timing jitter: occasional slow memory access. This is the
+			// hardware nondeterminism that makes racy programs produce
+			// different interleavings under different seeds.
+			if p.rng.Intn(64) == 0 {
+				cost += int64(p.rng.Intn(24))
+			}
+			cpu.clock += cost
+			cpu.sliceN++
+			if !t.Status.Live() || cpu.sliceN >= p.Quantum {
+				p.unbind(ci)
+			}
+			continue
+		}
+		// The step did not retire: the thread blocked (or re-blocked).
+		if t.Status == vm.BlockedSys {
+			p.sysPoll[t.ID] = cpu.clock + sysPollInterval
+		}
+		if t.Status == vm.Faulted {
+			p.unbind(ci)
+			continue
+		}
+		// Release the CPU; a tiny charge models the failed attempt.
+		cpu.clock += 1
+		p.unbind(ci)
+	}
+	return nil
+}
+
+// Run executes to completion.
+func (p *Parallel) Run() error {
+	const forever = int64(1) << 62
+	return p.RunUntil(forever)
+}
+
+// AddCost advances every CPU clock by c cycles, modelling work that pauses
+// the whole machine — taking a checkpoint, draining log buffers.
+func (p *Parallel) AddCost(c int64) {
+	for i := range p.cpus {
+		p.cpus[i].clock += c
+	}
+}
+
+// SetBaseClock moves every CPU clock to at least c; used when the
+// thread-parallel run resumes after a forward recovery, whose detection and
+// repair happened at simulated time c.
+func (p *Parallel) SetBaseClock(c int64) {
+	for i := range p.cpus {
+		if p.cpus[i].clock < c {
+			p.cpus[i].clock = c
+		}
+	}
+}
+
+func (p *Parallel) threadOf(ci int) *vm.Thread {
+	tid := p.cpus[ci].tid
+	if tid < 0 {
+		return nil
+	}
+	t := p.M.Threads[tid]
+	if t.Status == vm.Runnable {
+		return t
+	}
+	// Bound thread blocked or died between steps (e.g. barrier side
+	// effects); release the CPU.
+	p.unbind(ci)
+	return nil
+}
+
+func (p *Parallel) nextSysPoll() (int64, bool) {
+	var best int64
+	found := false
+	for _, t := range p.M.Threads {
+		if t.Status != vm.BlockedSys || p.boundElsewhere(t.ID) {
+			continue
+		}
+		at := p.sysPoll[t.ID]
+		if !found || at < best {
+			best = at
+			found = true
+		}
+	}
+	return best, found
+}
+
+func (p *Parallel) anyRunnable() bool {
+	for _, t := range p.M.Threads {
+		if t.Status == vm.Runnable {
+			return true
+		}
+	}
+	return false
+}
+
+// Slice re-exports the timeslice record type for convenience.
+type Slice = dplog.Slice

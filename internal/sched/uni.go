@@ -1,0 +1,302 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"doubleplay/internal/dplog"
+	"doubleplay/internal/vm"
+)
+
+// ErrDiverged reports that an epoch-parallel or replay execution departed
+// from the recorded execution (sync-order deadlock, syscall mismatch, or a
+// thread overshooting/undershooting its epoch target).
+var ErrDiverged = errors.New("sched: execution diverged from recording")
+
+// ErrLogExhausted reports a replay that consumed the schedule log without
+// reaching the recorded end state.
+var ErrLogExhausted = errors.New("sched: schedule log exhausted before targets met")
+
+// Uni timeslices all live threads of a machine on a single simulated CPU.
+//
+// In logging mode (Follow == nil) it round-robins runnable threads with a
+// fixed quantum and appends every timeslice to Log — this is the entire
+// shared-memory ordering record DoublePlay needs, the paper's key saving.
+// In replay mode (Follow != nil) it reproduces a logged schedule exactly.
+//
+// Targets, when set, give each thread's retired-instruction count at the
+// epoch boundary; threads stop there and the run ends when all reach them.
+type Uni struct {
+	M       *vm.Machine
+	Quantum int64
+
+	// Targets[tid] is the epoch-end retired count; nil means run to
+	// completion.
+	Targets []uint64
+
+	// Follow, when non-nil, is a recorded schedule to reproduce.
+	Follow []dplog.Slice
+
+	// TotalBudget, when positive, ends a free run once the machine as a
+	// whole has retired this many further instructions; used by forward
+	// recovery to re-execute roughly one epoch's worth of work.
+	TotalBudget uint64
+
+	// LogSchedule enables appending timeslices to Log.
+	LogSchedule bool
+	Log         []dplog.Slice
+
+	// Cycles is the simulated time consumed on this CPU, including
+	// context-switch and schedule-logging charges.
+	Cycles int64
+
+	// Switches counts context switches (slices executed).
+	Switches int64
+
+	cursor int // round-robin position for logging mode
+}
+
+// NewUni builds a uniprocessor scheduler over m.
+func NewUni(m *vm.Machine) *Uni {
+	return &Uni{M: m, Quantum: DefaultQuantum}
+}
+
+// belowTarget reports whether t still has instructions to retire this run.
+func (u *Uni) belowTarget(t *vm.Thread) bool {
+	if !t.Status.Live() {
+		return false
+	}
+	if u.Targets == nil {
+		return true
+	}
+	if t.ID >= len(u.Targets) {
+		// A thread the recording never saw: the execution has diverged.
+		return false
+	}
+	return t.Retired < u.Targets[t.ID]
+}
+
+// targetsMet reports whether the run is complete.
+func (u *Uni) targetsMet() (bool, error) {
+	if u.Targets == nil {
+		return u.M.Done(), nil
+	}
+	for _, t := range u.M.Threads {
+		if t.ID >= len(u.Targets) {
+			return false, fmt.Errorf("%w: thread %d not present in recording", ErrDiverged, t.ID)
+		}
+		want := u.Targets[t.ID]
+		switch {
+		case t.Retired == want:
+		case t.Retired < want:
+			if !t.Status.Live() {
+				return false, fmt.Errorf("%w: thread %d died at %d retired, target %d",
+					ErrDiverged, t.ID, t.Retired, want)
+			}
+			return false, nil
+		default:
+			return false, fmt.Errorf("%w: thread %d overshot target %d (retired %d)",
+				ErrDiverged, t.ID, want, t.Retired)
+		}
+	}
+	return true, nil
+}
+
+// Run executes until targets are met (or the machine terminates, when
+// Targets is nil).
+func (u *Uni) Run() error {
+	if u.Follow != nil {
+		return u.runFollow()
+	}
+	return u.runFree()
+}
+
+// totalRetired sums retired instructions across all threads.
+func (u *Uni) totalRetired() uint64 {
+	var n uint64
+	for _, t := range u.M.Threads {
+		n += t.Retired
+	}
+	return n
+}
+
+// runFree is logging mode: round-robin with quantum, appending slices.
+func (u *Uni) runFree() error {
+	startRetired := u.totalRetired()
+	for {
+		if u.TotalBudget > 0 && u.totalRetired()-startRetired >= u.TotalBudget {
+			return nil
+		}
+		done, err := u.targetsMet()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		t := u.pickNext()
+		if t == nil {
+			if u.pollBlockedSys() {
+				continue
+			}
+			return fmt.Errorf("%w\n%s", u.stuckErr(), u.M.DescribeState())
+		}
+		retired, err := u.runSlice(t, u.Quantum)
+		if err != nil {
+			return err
+		}
+		if retired > 0 {
+			u.appendSlice(t.ID, retired)
+		}
+	}
+}
+
+// stuckErr classifies a no-runnable-thread state: under enforcement or
+// targets it is a divergence; otherwise a guest deadlock.
+func (u *Uni) stuckErr() error {
+	if u.Targets != nil || u.M.Hooks.MayAcquire != nil {
+		return fmt.Errorf("%w: no runnable thread before targets met", ErrDiverged)
+	}
+	return ErrDeadlock
+}
+
+// pickNext scans round-robin for a runnable thread below target.
+func (u *Uni) pickNext() *vm.Thread {
+	threads := u.M.Threads
+	n := len(threads)
+	for k := 0; k < n; k++ {
+		t := threads[(u.cursor+k)%n]
+		if t.Status == vm.Runnable && u.belowTarget(t) {
+			u.cursor = (u.cursor + k + 1) % n
+			return t
+		}
+	}
+	return nil
+}
+
+// pollBlockedSys advances time and re-attempts syscall-blocked threads; it
+// returns true if any thread became runnable or retired. This path is used
+// by the uniprocessor baseline, where the real simulated OS can block; in
+// epoch-parallel and replay modes injected syscalls never block.
+func (u *Uni) pollBlockedSys() bool {
+	any := false
+	for _, t := range u.M.Threads {
+		if t.Status == vm.BlockedSys && u.belowTarget(t) {
+			any = true
+		}
+	}
+	if !any {
+		return false
+	}
+	u.Cycles += sysPollInterval
+	u.M.Now = u.Cycles
+	progressed := false
+	for _, t := range u.M.Threads {
+		if t.Status != vm.BlockedSys || !u.belowTarget(t) {
+			continue
+		}
+		res := u.M.Step(t)
+		if res.Retired {
+			u.Cycles += res.Cost
+			progressed = true
+			if t.Status == vm.Runnable {
+				// Let the round-robin loop schedule it normally from here.
+				continue
+			}
+		}
+	}
+	// Even with no retirement, time moved forward; the caller loops and the
+	// livelock guard is the simulated clock itself (world events are finite).
+	_ = progressed
+	return true
+}
+
+// runSlice runs t until quantum retirements, a block, its target, or
+// machine/thread termination. It returns the number retired.
+func (u *Uni) runSlice(t *vm.Thread, quantum int64) (uint64, error) {
+	u.Switches++
+	u.Cycles += u.M.Cost.TimesliceSwitch
+	var retired uint64
+	for int64(retired) < quantum {
+		if !t.Status.Live() || t.Status.Blocked() {
+			break
+		}
+		if u.Targets != nil && !u.belowTarget(t) {
+			break
+		}
+		u.M.Now = u.Cycles
+		res := u.M.Step(t)
+		if u.M.Diverged != "" {
+			return retired, fmt.Errorf("%w: %s", ErrDiverged, u.M.Diverged)
+		}
+		if !res.Retired {
+			break
+		}
+		u.Cycles += res.Cost
+		retired++
+	}
+	// A guest fault ends the thread like an exit; whether that is a guest
+	// bug (native/baseline runs) or a divergence (target runs, where the
+	// dead thread stops short of its target) is the caller's judgement.
+	return retired, nil
+}
+
+// appendSlice records a timeslice, merging with the previous entry when the
+// same thread continues (quantum expiry without an intervening switch).
+func (u *Uni) appendSlice(tid int, n uint64) {
+	if !u.LogSchedule {
+		return
+	}
+	if k := len(u.Log); k > 0 && u.Log[k-1].Tid == tid {
+		u.Log[k-1].N += n
+		return
+	}
+	u.Log = append(u.Log, dplog.Slice{Tid: tid, N: n})
+	u.Cycles += u.M.Cost.SchedLogEvent
+}
+
+// runFollow is replay mode: reproduce the logged schedule exactly.
+func (u *Uni) runFollow() error {
+	for i, s := range u.Follow {
+		if s.Tid < 0 || s.Tid >= len(u.M.Threads) {
+			return fmt.Errorf("%w: slice %d names unknown thread %d", ErrDiverged, i, s.Tid)
+		}
+		t := u.M.Threads[s.Tid]
+		var retired uint64
+		for retired < s.N {
+			if !t.Status.Live() {
+				return fmt.Errorf("%w: slice %d: thread %d dead after %d/%d",
+					ErrDiverged, i, s.Tid, retired, s.N)
+			}
+			if t.Status.Blocked() {
+				return fmt.Errorf("%w: slice %d: thread %d blocked (%s) after %d/%d",
+					ErrDiverged, i, s.Tid, t.Status, retired, s.N)
+			}
+			before := t.Retired
+			u.M.Now = u.Cycles
+			res := u.M.Step(t)
+			if u.M.Diverged != "" {
+				return fmt.Errorf("%w: %s", ErrDiverged, u.M.Diverged)
+			}
+			if !res.Retired {
+				continue // re-attempt resolved by barrier/lock side effects
+			}
+			u.Cycles += res.Cost
+			retired += t.Retired - before
+		}
+		if retired != s.N {
+			return fmt.Errorf("%w: slice %d: thread %d retired %d, slice says %d",
+				ErrDiverged, i, s.Tid, retired, s.N)
+		}
+		u.Switches++
+		u.Cycles += u.M.Cost.TimesliceSwitch
+	}
+	done, err := u.targetsMet()
+	if err != nil {
+		return err
+	}
+	if !done {
+		return ErrLogExhausted
+	}
+	return nil
+}

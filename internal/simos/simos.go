@@ -1,0 +1,452 @@
+// Package simos is the simulated operating system beneath the guest: a
+// virtual filesystem, a virtual network with scripted clients, a clock, a
+// PRNG, and a heap allocator, all exposed through the VM's syscall
+// interface.
+//
+// Two properties matter for DoublePlay. First, every syscall result is a
+// value plus a set of guest-memory writes, so the recorder can log it and
+// the replayer can inject it without the OS present. Second, the entire
+// mutable world is snapshotable (Clone), which is how the simulator models
+// the paper's input-buffering and deferred output commit: on forward
+// recovery the world rolls back with the checkpoint, and externally visible
+// output is an append-only hash that commits per epoch.
+package simos
+
+import (
+	"fmt"
+
+	"doubleplay/internal/vm"
+)
+
+// Word aliases the guest word type.
+type Word = vm.Word
+
+// Syscall numbers.
+const (
+	SysPrint    Word = 1  // (addr, n) -> n; hashes n words into the output commit
+	SysAlloc    Word = 2  // (nwords) -> addr; bump allocation
+	SysTime     Word = 3  // () -> current simulated cycle
+	SysRand     Word = 4  // () -> pseudorandom non-negative word
+	SysOpen     Word = 5  // (nameAddr, nameLen) -> fd, or -1
+	SysRead     Word = 6  // (fd, bufAddr, n) -> words read (0 at EOF)
+	SysWrite    Word = 7  // (fd, bufAddr, n) -> n; hashes into the output commit
+	SysClose    Word = 8  // (fd) -> 0
+	SysFileSize Word = 9  // (fd) -> size in words
+	SysListen   Word = 10 // () -> listener fd
+	SysAccept   Word = 11 // (lfd) -> conn fd; blocks until a client arrives; -1 when script exhausted
+	SysRecv     Word = 12 // (cfd, bufAddr, max) -> words received; blocks; 0 at connection EOF
+	SysSend     Word = 13 // (cfd, addr, n) -> n; hashes into the output commit
+	SysFetch    Word = 14 // (off, n, bufAddr) -> words fetched from the remote source after latency
+	SysFetchLen Word = 15 // () -> remote source length in words
+	SysYield    Word = 16 // () -> 0; scheduling hint, no effect on state
+)
+
+// File is an immutable virtual file. Contents never change after setup, so
+// world snapshots share them.
+type File struct {
+	Name string
+	Data []Word
+}
+
+// Request is one scripted client request on a connection: Data becomes
+// available to SysRecv at cycle AvailAt.
+type Request struct {
+	AvailAt int64
+	Data    []Word
+}
+
+// ConnScript is an immutable scripted inbound connection.
+type ConnScript struct {
+	ArriveAt int64
+	Requests []Request
+}
+
+// connState is the mutable per-connection cursor.
+type connState struct {
+	script  *ConnScript
+	reqIdx  int
+	readPos int
+	open    bool
+}
+
+func (c *connState) clone() *connState {
+	d := *c
+	return &d
+}
+
+// fdState is one open file descriptor.
+type fdState struct {
+	file *File
+	pos  int
+	open bool
+}
+
+// World is the complete simulated environment. Immutable parts (file
+// contents, connection scripts, the fetch source) are shared across clones;
+// mutable parts are deep-copied, so Clone is cheap and epoch rollback is
+// exact.
+type World struct {
+	// Immutable after setup.
+	files     map[string]*File
+	scripts   []*ConnScript
+	fetchSrc  []Word
+	fetchLat  int64
+	sigScript map[int][]SignalSpec
+
+	// Mutable execution state.
+	fds          []fdState
+	conns        []*connState
+	accepted     int // number of scripts already accepted
+	brk          Word
+	rng          uint64
+	outHash      uint64
+	outWords     int64
+	pendingFetch map[int]int64 // tid -> cycle at which its fetch completes
+	sigCursor    map[int]int   // tid -> next undelivered signal
+}
+
+// SignalSpec schedules one asynchronous signal: Sig becomes deliverable to
+// its thread once simulated time reaches At.
+type SignalSpec struct {
+	At  int64
+	Sig Word
+}
+
+// HeapBase is where SysAlloc allocations start; workloads place static data
+// well below it.
+const HeapBase Word = 1 << 30
+
+// NewWorld returns an empty world with the given PRNG seed.
+func NewWorld(seed int64) *World {
+	return &World{
+		files:        make(map[string]*File),
+		sigScript:    make(map[int][]SignalSpec),
+		brk:          HeapBase,
+		rng:          uint64(seed)*2862933555777941757 + 3037000493,
+		pendingFetch: make(map[int]int64),
+		sigCursor:    make(map[int]int),
+	}
+}
+
+// AddSignal schedules sig for delivery to thread tid once time reaches at.
+// Signals for the same thread must be added in ascending time order.
+func (w *World) AddSignal(at int64, tid int, sig Word) {
+	w.sigScript[tid] = append(w.sigScript[tid], SignalSpec{At: at, Sig: sig})
+}
+
+// NextSignal pops the next deliverable signal for tid at time now, if any.
+// The cursor is mutable world state, so epoch rollback re-delivers exactly
+// the signals the adopted execution had not yet consumed.
+func (w *World) NextSignal(tid int, now int64) (Word, bool) {
+	q := w.sigScript[tid]
+	c := w.sigCursor[tid]
+	if c < len(q) && q[c].At <= now {
+		w.sigCursor[tid] = c + 1
+		return q[c].Sig, true
+	}
+	return 0, false
+}
+
+// SignalCount reports the total scripted signals.
+func (w *World) SignalCount() int {
+	n := 0
+	for _, q := range w.sigScript {
+		n += len(q)
+	}
+	return n
+}
+
+// AddFile registers an immutable file.
+func (w *World) AddFile(name string, data []Word) {
+	w.files[name] = &File{Name: name, Data: data}
+}
+
+// FileNames returns the registered file names in insertion-independent
+// sorted-free form; intended for tests. (Callers needing order should track
+// names themselves.)
+func (w *World) FileCount() int { return len(w.files) }
+
+// AddConn schedules an inbound connection for the listener.
+func (w *World) AddConn(arriveAt int64, reqs []Request) {
+	w.scripts = append(w.scripts, &ConnScript{ArriveAt: arriveAt, Requests: reqs})
+}
+
+// SetFetchSource installs the remote resource SysFetch serves, with a fixed
+// per-request latency in cycles.
+func (w *World) SetFetchSource(data []Word, latency int64) {
+	w.fetchSrc = data
+	w.fetchLat = latency
+}
+
+// Clone deep-copies the mutable state, sharing immutable blobs.
+func (w *World) Clone() *World {
+	c := &World{
+		files:     w.files,
+		scripts:   w.scripts,
+		fetchSrc:  w.fetchSrc,
+		fetchLat:  w.fetchLat,
+		sigScript: w.sigScript,
+
+		fds:          append([]fdState(nil), w.fds...),
+		conns:        make([]*connState, len(w.conns)),
+		accepted:     w.accepted,
+		brk:          w.brk,
+		rng:          w.rng,
+		outHash:      w.outHash,
+		outWords:     w.outWords,
+		pendingFetch: make(map[int]int64, len(w.pendingFetch)),
+		sigCursor:    make(map[int]int, len(w.sigCursor)),
+	}
+	for i, cs := range w.conns {
+		c.conns[i] = cs.clone()
+	}
+	for k, v := range w.pendingFetch {
+		c.pendingFetch[k] = v
+	}
+	for k, v := range w.sigCursor {
+		c.sigCursor[k] = v
+	}
+	return c
+}
+
+// OutputHash returns the running hash of all externally committed output
+// (prints, file writes, sends) — the replay fidelity check for output.
+func (w *World) OutputHash() uint64 { return w.outHash }
+
+// OutputWords returns the number of words committed externally.
+func (w *World) OutputWords() int64 { return w.outWords }
+
+func (w *World) commit(words []Word) {
+	for _, v := range words {
+		w.outHash ^= (w.outHash << 7) ^ (w.outHash >> 9) ^ (uint64(v) * 0x9e3779b97f4a7c15)
+		w.outHash *= 0x2545f4914f6cdd1d
+		w.outWords++
+	}
+}
+
+func (w *World) nextRand() Word {
+	w.rng ^= w.rng << 13
+	w.rng ^= w.rng >> 7
+	w.rng ^= w.rng << 17
+	return Word(w.rng >> 1)
+}
+
+// OS adapts a World to the VM's syscall interface.
+type OS struct {
+	W *World
+}
+
+// NewOS wraps a world.
+func NewOS(w *World) *OS { return &OS{W: w} }
+
+// Syscall implements vm.SyscallHandler.
+func (o *OS) Syscall(m *vm.Machine, t *vm.Thread, num Word, args [6]Word) vm.SysResult {
+	w := o.W
+	switch num {
+	case SysPrint, SysWrite, SysSend:
+		// All three are output commits; SysWrite/SysSend take (sink, addr, n)
+		// and SysPrint takes (addr, n).
+		var addr, n Word
+		if num == SysPrint {
+			addr, n = args[0], args[1]
+		} else {
+			addr, n = args[1], args[2]
+		}
+		if n < 0 || n > 1<<24 {
+			return vm.SysResult{Fault: fmt.Sprintf("output syscall with bad length %d", n)}
+		}
+		words := make([]Word, n)
+		for i := range words {
+			words[i] = m.Mem.Load(addr + Word(i))
+		}
+		w.commit(words)
+		return vm.SysResult{Ret: n, Cost: n} // cost: copying n words out
+
+	case SysAlloc:
+		n := args[0]
+		if n < 0 || n > 1<<26 {
+			return vm.SysResult{Fault: fmt.Sprintf("alloc of %d words", n)}
+		}
+		addr := w.brk
+		w.brk += n
+		return vm.SysResult{Ret: addr}
+
+	case SysTime:
+		return vm.SysResult{Ret: m.Now}
+
+	case SysRand:
+		return vm.SysResult{Ret: w.nextRand()}
+
+	case SysYield:
+		return vm.SysResult{Ret: 0}
+
+	case SysOpen:
+		nameAddr, nameLen := args[0], args[1]
+		if nameLen < 0 || nameLen > 4096 {
+			return vm.SysResult{Fault: fmt.Sprintf("open with name length %d", nameLen)}
+		}
+		name := decodeString(m, nameAddr, nameLen)
+		f, ok := w.files[name]
+		if !ok {
+			return vm.SysResult{Ret: -1}
+		}
+		w.fds = append(w.fds, fdState{file: f, open: true})
+		return vm.SysResult{Ret: Word(len(w.fds) - 1)}
+
+	case SysRead:
+		fd, bufAddr, n := args[0], args[1], args[2]
+		s, err := w.fd(fd)
+		if err != "" {
+			return vm.SysResult{Fault: err}
+		}
+		if n < 0 {
+			return vm.SysResult{Fault: "read with negative length"}
+		}
+		avail := len(s.file.Data) - s.pos
+		if avail <= 0 {
+			return vm.SysResult{Ret: 0}
+		}
+		if int(n) < avail {
+			avail = int(n)
+		}
+		data := append([]Word(nil), s.file.Data[s.pos:s.pos+avail]...)
+		s.pos += avail
+		return vm.SysResult{
+			Ret:    Word(avail),
+			Writes: []vm.MemWrite{{Addr: bufAddr, Data: data}},
+		}
+
+	case SysClose:
+		s, err := w.fd(args[0])
+		if err != "" {
+			return vm.SysResult{Fault: err}
+		}
+		s.open = false
+		return vm.SysResult{Ret: 0}
+
+	case SysFileSize:
+		s, err := w.fd(args[0])
+		if err != "" {
+			return vm.SysResult{Fault: err}
+		}
+		return vm.SysResult{Ret: Word(len(s.file.Data))}
+
+	case SysListen:
+		return vm.SysResult{Ret: 0}
+
+	case SysAccept:
+		if w.accepted >= len(w.scripts) {
+			return vm.SysResult{Ret: -1} // script exhausted: no more clients ever
+		}
+		next := w.scripts[w.accepted]
+		if next.ArriveAt > m.Now {
+			return vm.SysResult{Block: true}
+		}
+		w.conns = append(w.conns, &connState{script: next, open: true})
+		w.accepted++
+		return vm.SysResult{Ret: Word(len(w.conns) - 1)}
+
+	case SysRecv:
+		cfd, bufAddr, max := args[0], args[1], args[2]
+		c, err := w.conn(cfd)
+		if err != "" {
+			return vm.SysResult{Fault: err}
+		}
+		if max <= 0 {
+			return vm.SysResult{Fault: "recv with non-positive max"}
+		}
+		if c.reqIdx >= len(c.script.Requests) {
+			return vm.SysResult{Ret: 0} // connection EOF
+		}
+		req := &c.script.Requests[c.reqIdx]
+		if req.AvailAt > m.Now {
+			return vm.SysResult{Block: true}
+		}
+		remain := len(req.Data) - c.readPos
+		n := int(max)
+		if remain < n {
+			n = remain
+		}
+		data := append([]Word(nil), req.Data[c.readPos:c.readPos+n]...)
+		c.readPos += n
+		if c.readPos == len(req.Data) {
+			c.reqIdx++
+			c.readPos = 0
+		}
+		return vm.SysResult{
+			Ret:    Word(n),
+			Writes: []vm.MemWrite{{Addr: bufAddr, Data: data}},
+		}
+
+	case SysFetch:
+		off, n, bufAddr := args[0], args[1], args[2]
+		if off < 0 || n < 0 || off > Word(len(w.fetchSrc)) {
+			return vm.SysResult{Fault: fmt.Sprintf("fetch out of range: off=%d n=%d", off, n)}
+		}
+		ready, pending := w.pendingFetch[t.ID]
+		if !pending {
+			w.pendingFetch[t.ID] = m.Now + w.fetchLat
+			return vm.SysResult{Block: true}
+		}
+		if m.Now < ready {
+			return vm.SysResult{Block: true}
+		}
+		delete(w.pendingFetch, t.ID)
+		end := off + n
+		if end > Word(len(w.fetchSrc)) {
+			end = Word(len(w.fetchSrc))
+		}
+		data := append([]Word(nil), w.fetchSrc[off:end]...)
+		return vm.SysResult{
+			Ret:    Word(len(data)),
+			Writes: []vm.MemWrite{{Addr: bufAddr, Data: data}},
+		}
+
+	case SysFetchLen:
+		return vm.SysResult{Ret: Word(len(w.fetchSrc))}
+
+	default:
+		return vm.SysResult{Fault: fmt.Sprintf("unknown syscall %d", num)}
+	}
+}
+
+func (w *World) fd(fd Word) (*fdState, string) {
+	if fd < 0 || fd >= Word(len(w.fds)) {
+		return nil, fmt.Sprintf("bad fd %d", fd)
+	}
+	s := &w.fds[fd]
+	if !s.open {
+		return nil, fmt.Sprintf("fd %d is closed", fd)
+	}
+	return s, ""
+}
+
+func (w *World) conn(cfd Word) (*connState, string) {
+	if cfd < 0 || cfd >= Word(len(w.conns)) {
+		return nil, fmt.Sprintf("bad connection fd %d", cfd)
+	}
+	c := w.conns[cfd]
+	if !c.open {
+		return nil, fmt.Sprintf("connection %d is closed", cfd)
+	}
+	return c, ""
+}
+
+// decodeString reads a guest string stored one character per word.
+func decodeString(m *vm.Machine, addr, n Word) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(m.Mem.Load(addr + Word(i)))
+	}
+	return string(b)
+}
+
+// EncodeString converts a host string to guest words (one char per word),
+// for building data segments and requests.
+func EncodeString(s string) []Word {
+	out := make([]Word, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = Word(s[i])
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package vm
+
+// CostModel assigns simulated-cycle costs to guest operations and to the
+// record-time work DoublePlay adds (log writes, checkpoints, state
+// comparison). Overheads reported by the experiment harness emerge from
+// these charges plus pipeline structure; they are knobs of the simulated
+// hardware, not of the algorithm.
+type CostModel struct {
+	// Per-instruction execution costs.
+	Instr int64 // plain ALU / control instruction
+	Mem   int64 // load/store
+	Sync  int64 // lock, unlock, barrier, atomic
+	Spawn int64 // thread creation
+	Sys   int64 // syscall dispatch
+
+	// Record-time costs charged by the DoublePlay runtime.
+	SyncLogEvent     int64 // appending one sync-order record (thread-parallel run)
+	SysLogEvent      int64 // recording one syscall result + its memory writes
+	SchedLogEvent    int64 // appending one timeslice record (epoch-parallel run)
+	TimesliceSwitch  int64 // context switch on the uniprocessor (both runs pay this)
+	CheckpointBase   int64 // fixed cost of taking a checkpoint (fork + bookkeeping)
+	CheckpointPage   int64 // per-mapped-page cost of a checkpoint (page-table copy)
+	CowCopyPage      int64 // copying one page on first write after a checkpoint
+	ComparePage      int64 // comparing one page at epoch commit
+	InjectSysEvent   int64 // injecting one logged syscall during epoch-parallel/replay runs
+	EnforceSyncEvent int64 // consulting the sync-order gate at one sync operation
+}
+
+// DefaultCosts returns the cost model used throughout the evaluation. The
+// ratios are modelled on the paper's testbed: syscalls cost tens of cycles
+// of kernel entry/exit, checkpoints cost a fork (microseconds, amortised
+// over epochs of tens of thousands of instructions), and log appends are a
+// few cycles of buffered writes.
+func DefaultCosts() *CostModel {
+	return &CostModel{
+		Instr: 1,
+		Mem:   2,
+		Sync:  8,
+		Spawn: 400,
+		Sys:   80,
+
+		SyncLogEvent:     6,
+		SysLogEvent:      16,
+		SchedLogEvent:    30,
+		TimesliceSwitch:  120,
+		CheckpointBase:   2000,
+		CheckpointPage:   8,
+		CowCopyPage:      60,
+		ComparePage:      8,
+		InjectSysEvent:   30,
+		EnforceSyncEvent: 4,
+	}
+}
+
+// instrCost returns the execution cost of one instruction.
+func (c *CostModel) instrCost(op Opcode) int64 {
+	switch op {
+	case OpLd, OpSt, OpLdx, OpStx:
+		return c.Mem
+	case OpLock, OpUnlock, OpBarArrive, OpBarWait, OpCas, OpFadd:
+		return c.Sync
+	case OpSpawn, OpJoin:
+		return c.Spawn
+	case OpSys:
+		return c.Sys
+	default:
+		return c.Instr
+	}
+}

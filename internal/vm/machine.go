@@ -1,0 +1,857 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"doubleplay/internal/mem"
+)
+
+// ObjKind classifies synchronisation objects for ordering and logging.
+type ObjKind uint8
+
+const (
+	ObjLock    ObjKind = iota // mutex, identified by guest word
+	ObjAtomic                 // atomic memory word, identified by address
+	ObjSpawn                  // the global thread-creation order
+	ObjBarrier                // barrier, identified by guest word
+)
+
+var objKindNames = [...]string{ObjLock: "lock", ObjAtomic: "atomic", ObjSpawn: "spawn", ObjBarrier: "barrier"}
+
+func (k ObjKind) String() string {
+	if int(k) < len(objKindNames) {
+		return objKindNames[k]
+	}
+	return fmt.Sprintf("objkind(%d)", uint8(k))
+}
+
+// SyncObj identifies one synchronisation object.
+type SyncObj struct {
+	Kind ObjKind
+	ID   Word
+}
+
+func (o SyncObj) String() string { return fmt.Sprintf("%s:%d", o.Kind, o.ID) }
+
+// SyncKind classifies synchronisation events.
+type SyncKind uint8
+
+const (
+	SyncAcquire   SyncKind = iota // lock acquired
+	SyncRelease                   // lock released
+	SyncAtomic                    // CAS or fetch-add retired
+	SyncSpawn                     // thread created (Child = new tid)
+	SyncBarArrive                 // barrier arrival retired (Child = generation awaited)
+	SyncBarPass                   // barrier wait retired (Child = generation passed)
+	SyncExit                      // thread exited
+	SyncJoin                      // join retired (Child = joined tid)
+)
+
+var syncKindNames = [...]string{
+	SyncAcquire: "acquire", SyncRelease: "release", SyncAtomic: "atomic",
+	SyncSpawn: "spawn", SyncBarArrive: "bar-arrive", SyncBarPass: "bar-pass",
+	SyncExit: "exit", SyncJoin: "join",
+}
+
+func (k SyncKind) String() string {
+	if int(k) < len(syncKindNames) {
+		return syncKindNames[k]
+	}
+	return fmt.Sprintf("synckind(%d)", uint8(k))
+}
+
+// SyncEvent reports one retired synchronisation operation.
+type SyncEvent struct {
+	Tid   int
+	Obj   SyncObj
+	Kind  SyncKind
+	Child int // spawned/joined tid, or barrier generation
+}
+
+// Gated reports whether events of this kind are subject to sync-order
+// enforcement during epoch-parallel execution. Acquire order, atomic-op
+// order, and spawn order fully determine inter-thread communication through
+// synchronisation; releases, barriers, exits and joins order themselves.
+func (e SyncEvent) Gated() bool {
+	switch e.Kind {
+	case SyncAcquire, SyncAtomic, SyncSpawn:
+		return true
+	}
+	return false
+}
+
+// MemWrite is a block of guest memory written by a syscall; recorded in the
+// syscall log so replay can reproduce input data without re-executing the
+// simulated OS.
+type MemWrite struct {
+	Addr Word
+	Data []Word
+}
+
+// SysResult is the outcome of a syscall attempt.
+type SysResult struct {
+	Ret    Word
+	Block  bool       // retry later; nothing retired
+	Writes []MemWrite // applied to guest memory on retire
+	Fault  string     // non-empty: guest fault (bad syscall, bad args)
+	Cost   Word       // extra cycles beyond the base syscall cost (data movement)
+}
+
+// SyscallHandler services guest syscalls. During recording this is the
+// simulated OS wrapped in a logger; during epoch-parallel execution and
+// replay it is an injector that feeds back logged results.
+type SyscallHandler interface {
+	Syscall(m *Machine, t *Thread, num Word, args [6]Word) SysResult
+}
+
+// Hooks observe and constrain execution. All fields may be nil.
+type Hooks struct {
+	// MayAcquire gates order-enforced sync operations (see SyncEvent.Gated).
+	// Returning false blocks the thread until a later retry succeeds.
+	MayAcquire func(obj SyncObj, tid int) bool
+	// OnSync observes every retired synchronisation event.
+	OnSync func(ev SyncEvent)
+	// OnMemAccess observes every data (non-atomic) guest memory access and
+	// every syscall write. Atomic operations are reported as sync events
+	// instead.
+	OnMemAccess func(tid int, addr Word, write bool)
+	// PendingSignal is consulted before each instruction of a live thread;
+	// returning (sig, true) delivers sig at that exact point. Delivery is a
+	// retiring event, so a signal's position is fully identified by the
+	// thread's retired-instruction count — which is how the log pinpoints
+	// asynchronous delivery for replay.
+	PendingSignal func(t *Thread) (Word, bool)
+}
+
+// StepResult reports the outcome of executing one instruction attempt.
+type StepResult struct {
+	Retired bool
+	Cost    int64
+}
+
+// Machine is a complete guest machine: program, memory, threads, locks, and
+// syscall environment. A Machine is driven by a scheduler that decides which
+// thread attempts the next instruction; the Machine itself is strictly
+// single-goroutine.
+type Machine struct {
+	Prog    *Program
+	Mem     *mem.Memory
+	Threads []*Thread
+	Locks   map[Word]int // lock id -> holder tid; absent means free
+	OS      SyscallHandler
+	Hooks   Hooks
+	Cost    *CostModel
+
+	// Now is the current simulated cycle, maintained by the scheduler so
+	// the simulated OS can time-stamp world events.
+	Now int64
+
+	// Diverged is set by an injection handler or enforcement layer when the
+	// execution departs from the recorded one; the epoch runner checks it
+	// after every step.
+	Diverged string
+
+	// Barriers is architectural state: per-barrier arrival count and
+	// release generation. It is checkpointed and hashed.
+	Barriers map[Word]*BarrierState
+
+	nextTID    int
+	liveCount  int
+	faultCount int
+}
+
+// BarrierState is one barrier's architectural state.
+type BarrierState struct {
+	Gen     Word // completed release generations
+	Arrived Word // arrivals in the current generation
+}
+
+// NewMachine builds a machine at the program's entry point with a single
+// runnable thread (tid 0).
+func NewMachine(prog *Program, os SyscallHandler, cost *CostModel) *Machine {
+	if cost == nil {
+		cost = DefaultCosts()
+	}
+	m := &Machine{
+		Prog:     prog,
+		Mem:      mem.New(),
+		Locks:    make(map[Word]int),
+		OS:       os,
+		Cost:     cost,
+		Barriers: make(map[Word]*BarrierState),
+	}
+	m.Mem.StoreRange(prog.DataBase, prog.Data)
+	m.Mem.ResetStats()
+	main := &Thread{ID: 0, PC: prog.Funcs[prog.Entry].Entry, SigHandler: -1}
+	m.Threads = []*Thread{main}
+	m.nextTID = 1
+	m.liveCount = 1
+	return m
+}
+
+// LiveCount reports the number of threads that are neither exited nor
+// faulted.
+func (m *Machine) LiveCount() int { return m.liveCount }
+
+// FaultCount reports the number of faulted threads.
+func (m *Machine) FaultCount() int { return m.faultCount }
+
+// Done reports whether every thread has terminated.
+func (m *Machine) Done() bool { return m.liveCount == 0 }
+
+// Thread returns the thread with the given id, or nil.
+func (m *Machine) Thread(tid int) *Thread {
+	if tid < 0 || tid >= len(m.Threads) {
+		return nil
+	}
+	return m.Threads[tid]
+}
+
+// Faults returns the fault messages of all faulted threads.
+func (m *Machine) Faults() []string {
+	var out []string
+	for _, t := range m.Threads {
+		if t.Status == Faulted {
+			out = append(out, fmt.Sprintf("tid %d @pc %d: %s", t.ID, t.PC, t.Fault))
+		}
+	}
+	return out
+}
+
+func (m *Machine) fault(t *Thread, msg string) {
+	t.Status = Faulted
+	t.Fault = msg
+	m.liveCount--
+	m.faultCount++
+	m.wakeJoiners(t.ID)
+}
+
+// wake transitions every live thread blocked on (status, obj) back to
+// Runnable so it re-attempts its instruction when next scheduled.
+func (m *Machine) wake(status Status, obj Word) {
+	for _, t := range m.Threads {
+		if t.Status == status && t.waitObj == obj {
+			t.Status = Runnable
+		}
+	}
+}
+
+func (m *Machine) wakeJoiners(tid int) { m.wake(BlockedJoin, Word(tid)) }
+
+// wakeOrderBlocked releases every thread held back by sync-order
+// enforcement; called after each retired sync event so gated threads
+// re-poll the gate.
+func (m *Machine) wakeOrderBlocked() {
+	for _, t := range m.Threads {
+		if t.Status == BlockedOrder {
+			t.Status = Runnable
+		}
+	}
+}
+
+func (m *Machine) emitSync(ev SyncEvent) {
+	if m.Hooks.OnSync != nil {
+		m.Hooks.OnSync(ev)
+	}
+	m.wakeOrderBlocked()
+}
+
+// mayAcquire consults the enforcement gate; on refusal the thread blocks.
+func (m *Machine) mayAcquire(t *Thread, obj SyncObj) bool {
+	if m.Hooks.MayAcquire == nil {
+		return true
+	}
+	if m.Hooks.MayAcquire(obj, t.ID) {
+		return true
+	}
+	t.Status = BlockedOrder
+	t.waitObj = 0
+	return false
+}
+
+func (m *Machine) memLoad(t *Thread, addr Word) Word {
+	if m.Hooks.OnMemAccess != nil {
+		m.Hooks.OnMemAccess(t.ID, addr, false)
+	}
+	return m.Mem.Load(addr)
+}
+
+func (m *Machine) memStore(t *Thread, addr, val Word) {
+	if m.Hooks.OnMemAccess != nil {
+		m.Hooks.OnMemAccess(t.ID, addr, true)
+	}
+	m.Mem.Store(addr, val)
+}
+
+// Step makes thread t attempt its current instruction. Blocked threads
+// re-attempt and either proceed or remain blocked; the scheduler charges
+// cost only for retired instructions.
+func (m *Machine) Step(t *Thread) StepResult {
+	if !t.Status.Live() {
+		panic(fmt.Sprintf("vm: Step on dead thread %d (%s)", t.ID, t.Status))
+	}
+	if t.PC < 0 || t.PC >= len(m.Prog.Code) {
+		m.fault(t, fmt.Sprintf("pc out of range: %d", t.PC))
+		return StepResult{}
+	}
+	if m.Hooks.PendingSignal != nil {
+		if sig, ok := m.Hooks.PendingSignal(t); ok {
+			return m.deliverSignal(t, sig)
+		}
+	}
+	in := m.Prog.Code[t.PC]
+	cost := m.Cost.instrCost(in.Op)
+	r := &t.Regs
+
+	retire := func() StepResult {
+		t.PC++
+		t.Retired++
+		t.Status = Runnable
+		return StepResult{Retired: true, Cost: cost}
+	}
+	retireSync := func(ev SyncEvent) StepResult {
+		res := retire()
+		t.SyncRetired++
+		m.emitSync(ev)
+		return res
+	}
+
+	switch in.Op {
+	case OpNop:
+		return retire()
+	case OpMovi:
+		r[in.A] = in.Imm
+		return retire()
+	case OpMov:
+		r[in.A] = r[in.B]
+		return retire()
+	case OpAdd:
+		r[in.A] = r[in.B] + r[in.C]
+		return retire()
+	case OpSub:
+		r[in.A] = r[in.B] - r[in.C]
+		return retire()
+	case OpMul:
+		r[in.A] = r[in.B] * r[in.C]
+		return retire()
+	case OpDiv:
+		if r[in.C] == 0 {
+			m.fault(t, "divide by zero")
+			return StepResult{}
+		}
+		r[in.A] = r[in.B] / r[in.C]
+		return retire()
+	case OpMod:
+		if r[in.C] == 0 {
+			m.fault(t, "modulo by zero")
+			return StepResult{}
+		}
+		r[in.A] = r[in.B] % r[in.C]
+		return retire()
+	case OpAnd:
+		r[in.A] = r[in.B] & r[in.C]
+		return retire()
+	case OpOr:
+		r[in.A] = r[in.B] | r[in.C]
+		return retire()
+	case OpXor:
+		r[in.A] = r[in.B] ^ r[in.C]
+		return retire()
+	case OpShl:
+		r[in.A] = r[in.B] << (uint64(r[in.C]) & 63)
+		return retire()
+	case OpShr:
+		r[in.A] = r[in.B] >> (uint64(r[in.C]) & 63)
+		return retire()
+	case OpAddi:
+		r[in.A] = r[in.B] + in.Imm
+		return retire()
+	case OpMuli:
+		r[in.A] = r[in.B] * in.Imm
+		return retire()
+	case OpDivi:
+		if in.Imm == 0 {
+			m.fault(t, "divide by zero immediate")
+			return StepResult{}
+		}
+		r[in.A] = r[in.B] / in.Imm
+		return retire()
+	case OpModi:
+		if in.Imm == 0 {
+			m.fault(t, "modulo by zero immediate")
+			return StepResult{}
+		}
+		r[in.A] = r[in.B] % in.Imm
+		return retire()
+	case OpAndi:
+		r[in.A] = r[in.B] & in.Imm
+		return retire()
+	case OpOri:
+		r[in.A] = r[in.B] | in.Imm
+		return retire()
+	case OpXori:
+		r[in.A] = r[in.B] ^ in.Imm
+		return retire()
+	case OpShli:
+		r[in.A] = r[in.B] << (uint64(in.Imm) & 63)
+		return retire()
+	case OpShri:
+		r[in.A] = r[in.B] >> (uint64(in.Imm) & 63)
+		return retire()
+	case OpNeg:
+		r[in.A] = -r[in.B]
+		return retire()
+	case OpNot:
+		r[in.A] = ^r[in.B]
+		return retire()
+	case OpSlt:
+		r[in.A] = b2w(r[in.B] < r[in.C])
+		return retire()
+	case OpSle:
+		r[in.A] = b2w(r[in.B] <= r[in.C])
+		return retire()
+	case OpSeq:
+		r[in.A] = b2w(r[in.B] == r[in.C])
+		return retire()
+	case OpSne:
+		r[in.A] = b2w(r[in.B] != r[in.C])
+		return retire()
+	case OpSlti:
+		r[in.A] = b2w(r[in.B] < in.Imm)
+		return retire()
+	case OpSlei:
+		r[in.A] = b2w(r[in.B] <= in.Imm)
+		return retire()
+	case OpSeqi:
+		r[in.A] = b2w(r[in.B] == in.Imm)
+		return retire()
+	case OpSnei:
+		r[in.A] = b2w(r[in.B] != in.Imm)
+		return retire()
+
+	case OpJmp:
+		t.PC = int(in.Imm)
+		t.Retired++
+		return StepResult{Retired: true, Cost: cost}
+	case OpJz:
+		if r[in.A] == 0 {
+			t.PC = int(in.Imm)
+		} else {
+			t.PC++
+		}
+		t.Retired++
+		return StepResult{Retired: true, Cost: cost}
+	case OpJnz:
+		if r[in.A] != 0 {
+			t.PC = int(in.Imm)
+		} else {
+			t.PC++
+		}
+		t.Retired++
+		return StepResult{Retired: true, Cost: cost}
+
+	case OpCall:
+		fn := int(in.Imm)
+		if fn < 0 || fn >= len(m.Prog.Funcs) {
+			m.fault(t, fmt.Sprintf("call to bad function %d", fn))
+			return StepResult{}
+		}
+		if len(t.Frames) >= 512 {
+			m.fault(t, "call stack overflow")
+			return StepResult{}
+		}
+		t.Frames = append(t.Frames, Frame{RetPC: t.PC + 1, Regs: t.Regs})
+		var fresh [NumRegs]Word
+		copy(fresh[1:1+MaxArgs], t.Regs[ArgStageBase:ArgStageBase+MaxArgs])
+		t.Regs = fresh
+		t.PC = m.Prog.Funcs[fn].Entry
+		t.Retired++
+		return StepResult{Retired: true, Cost: cost}
+	case OpRet:
+		if len(t.Frames) == 0 {
+			m.fault(t, "return with empty call stack")
+			return StepResult{}
+		}
+		ret := r[in.A]
+		f := t.Frames[len(t.Frames)-1]
+		t.Frames = t.Frames[:len(t.Frames)-1]
+		t.Regs = f.Regs
+		if !f.Signal {
+			t.Regs[0] = ret // a signal return restores r0 untouched
+		}
+		t.PC = f.RetPC
+		t.Retired++
+		return StepResult{Retired: true, Cost: cost}
+
+	case OpLd:
+		r[in.A] = m.memLoad(t, r[in.B]+in.Imm)
+		return retire()
+	case OpSt:
+		m.memStore(t, r[in.B]+in.Imm, r[in.A])
+		return retire()
+	case OpLdx:
+		r[in.A] = m.memLoad(t, r[in.B]+r[in.C])
+		return retire()
+	case OpStx:
+		m.memStore(t, r[in.B]+r[in.C], r[in.A])
+		return retire()
+
+	case OpLock:
+		id := r[in.A]
+		holder, held := m.Locks[id]
+		if held {
+			if holder == t.ID {
+				m.fault(t, fmt.Sprintf("recursive lock %d", id))
+				return StepResult{}
+			}
+			t.Status = BlockedLock
+			t.waitObj = id
+			return StepResult{}
+		}
+		obj := SyncObj{ObjLock, id}
+		if !m.mayAcquire(t, obj) {
+			return StepResult{}
+		}
+		m.Locks[id] = t.ID
+		return retireSync(SyncEvent{Tid: t.ID, Obj: obj, Kind: SyncAcquire})
+	case OpUnlock:
+		id := r[in.A]
+		holder, held := m.Locks[id]
+		if !held || holder != t.ID {
+			m.fault(t, fmt.Sprintf("unlock of lock %d not held by tid %d", id, t.ID))
+			return StepResult{}
+		}
+		delete(m.Locks, id)
+		res := retireSync(SyncEvent{Tid: t.ID, Obj: SyncObj{ObjLock, id}, Kind: SyncRelease})
+		m.wake(BlockedLock, id)
+		return res
+	case OpBarArrive:
+		id, count := r[in.B], r[in.C]
+		if count <= 0 {
+			m.fault(t, fmt.Sprintf("barrier %d with count %d", id, count))
+			return StepResult{}
+		}
+		b := m.Barriers[id]
+		if b == nil {
+			b = &BarrierState{}
+			m.Barriers[id] = b
+		}
+		r[in.A] = b.Gen + 1
+		b.Arrived++
+		if b.Arrived >= count {
+			b.Arrived = 0
+			b.Gen++
+			m.wake(BlockedBarrier, id)
+		}
+		return retireSync(SyncEvent{Tid: t.ID, Obj: SyncObj{ObjBarrier, id}, Kind: SyncBarArrive, Child: int(r[in.A])})
+	case OpBarWait:
+		id, want := r[in.B], r[in.A]
+		b := m.Barriers[id]
+		if b == nil || b.Gen < want {
+			t.Status = BlockedBarrier
+			t.waitObj = id
+			return StepResult{}
+		}
+		return retireSync(SyncEvent{Tid: t.ID, Obj: SyncObj{ObjBarrier, id}, Kind: SyncBarPass, Child: int(want)})
+	case OpCas:
+		addr := r[in.B]
+		obj := SyncObj{ObjAtomic, addr}
+		if !m.mayAcquire(t, obj) {
+			return StepResult{}
+		}
+		if m.Mem.Load(addr) == r[in.C] {
+			m.Mem.Store(addr, r[in.D])
+			r[in.A] = 1
+		} else {
+			r[in.A] = 0
+		}
+		return retireSync(SyncEvent{Tid: t.ID, Obj: obj, Kind: SyncAtomic})
+	case OpFadd:
+		addr := r[in.B]
+		obj := SyncObj{ObjAtomic, addr}
+		if !m.mayAcquire(t, obj) {
+			return StepResult{}
+		}
+		old := m.Mem.Load(addr)
+		m.Mem.Store(addr, old+r[in.C])
+		r[in.A] = old
+		return retireSync(SyncEvent{Tid: t.ID, Obj: obj, Kind: SyncAtomic})
+
+	case OpSpawn:
+		fn := int(in.Imm)
+		if fn < 0 || fn >= len(m.Prog.Funcs) {
+			m.fault(t, fmt.Sprintf("spawn of bad function %d", fn))
+			return StepResult{}
+		}
+		obj := SyncObj{ObjSpawn, 0}
+		if !m.mayAcquire(t, obj) {
+			return StepResult{}
+		}
+		child := &Thread{ID: m.nextTID, PC: m.Prog.Funcs[fn].Entry, SigHandler: t.SigHandler}
+		child.Regs[1] = r[in.B]
+		m.nextTID++
+		m.Threads = append(m.Threads, child)
+		m.liveCount++
+		r[in.A] = Word(child.ID)
+		return retireSync(SyncEvent{Tid: t.ID, Obj: obj, Kind: SyncSpawn, Child: child.ID})
+	case OpJoin:
+		tid := int(r[in.A])
+		child := m.Thread(tid)
+		if child == nil || child == t {
+			m.fault(t, fmt.Sprintf("join on bad tid %d", tid))
+			return StepResult{}
+		}
+		switch child.Status {
+		case Exited:
+			r[in.A] = child.ExitVal
+			return retireSync(SyncEvent{Tid: t.ID, Obj: SyncObj{ObjSpawn, 0}, Kind: SyncJoin, Child: tid})
+		case Faulted:
+			m.fault(t, fmt.Sprintf("join on faulted tid %d: %s", tid, child.Fault))
+			return StepResult{}
+		default:
+			t.Status = BlockedJoin
+			t.waitObj = Word(tid)
+			return StepResult{}
+		}
+
+	case OpSys:
+		var args [6]Word
+		copy(args[:], r[ArgStageBase:ArgStageBase+MaxArgs])
+		res := m.OS.Syscall(m, t, in.Imm, args)
+		if res.Fault != "" {
+			m.fault(t, res.Fault)
+			return StepResult{}
+		}
+		if res.Block {
+			t.Status = BlockedSys
+			t.waitObj = 0
+			return StepResult{}
+		}
+		cost += res.Cost
+		for _, w := range res.Writes {
+			cost += int64(len(w.Data)) // data movement into guest memory
+			for i, v := range w.Data {
+				m.memStore(t, w.Addr+Word(i), v)
+			}
+		}
+		r[0] = res.Ret
+		t.PC++
+		t.Retired++
+		t.SysRetired++
+		t.Status = Runnable
+		return StepResult{Retired: true, Cost: cost}
+	case OpTid:
+		r[in.A] = Word(t.ID)
+		return retire()
+	case OpSigH:
+		fn := int(in.Imm)
+		if fn < 0 || fn >= len(m.Prog.Funcs) {
+			m.fault(t, fmt.Sprintf("sig.handler with bad function %d", fn))
+			return StepResult{}
+		}
+		t.SigHandler = fn
+		return retire()
+	case OpHalt:
+		t.ExitVal = r[in.A]
+		t.Status = Exited
+		t.Retired++
+		m.liveCount--
+		m.emitSync(SyncEvent{Tid: t.ID, Obj: SyncObj{ObjSpawn, 0}, Kind: SyncExit})
+		m.wakeJoiners(t.ID)
+		return StepResult{Retired: true, Cost: cost}
+	default:
+		m.fault(t, fmt.Sprintf("illegal opcode %d", in.Op))
+		return StepResult{}
+	}
+}
+
+// deliverSignal interrupts t at its current point: the context is pushed
+// as a signal frame and control transfers to the handler with the signal
+// number as its argument. Delivery retires (like an implicit instruction),
+// so it occupies one position in the thread's retired-instruction stream
+// and appears in timeslice accounting. A thread with no handler absorbs
+// the signal (still retiring the delivery, so record and replay agree).
+func (m *Machine) deliverSignal(t *Thread, sig Word) StepResult {
+	t.Retired++
+	t.SigRetired++
+	if t.SigHandler < 0 {
+		return StepResult{Retired: true, Cost: m.Cost.Sync}
+	}
+	if len(t.Frames) >= 512 {
+		m.fault(t, "signal delivery overflowed the call stack")
+		return StepResult{}
+	}
+	t.Frames = append(t.Frames, Frame{RetPC: t.PC, Regs: t.Regs, Signal: true})
+	var fresh [NumRegs]Word
+	fresh[1] = sig
+	t.Regs = fresh
+	t.PC = m.Prog.Funcs[t.SigHandler].Entry
+	t.Status = Runnable
+	return StepResult{Retired: true, Cost: m.Cost.Sync}
+}
+
+func b2w(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+
+// Checkpoint is a complete architectural snapshot of a machine: memory
+// image, thread states, lock ownership, and barrier state. Wait queues and
+// blocked statuses are deliberately absent — they are derived state that
+// re-materialises when restored threads re-attempt their un-retired
+// instructions.
+type Checkpoint struct {
+	MemSnap  *mem.Snapshot
+	Threads  []*Thread
+	Locks    map[Word]int
+	Barriers map[Word]BarrierState
+	NextTID  int
+}
+
+// Checkpoint captures the machine's architectural state. The machine
+// remains usable; future writes copy pages lazily.
+func (m *Machine) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		MemSnap:  m.Mem.Snapshot(),
+		Threads:  make([]*Thread, len(m.Threads)),
+		Locks:    make(map[Word]int, len(m.Locks)),
+		Barriers: make(map[Word]BarrierState, len(m.Barriers)),
+		NextTID:  m.nextTID,
+	}
+	for i, t := range m.Threads {
+		c := t.clone()
+		if c.Status.Blocked() {
+			c.Status = Runnable
+		}
+		c.waitObj = 0
+		cp.Threads[i] = c
+	}
+	for k, v := range m.Locks {
+		cp.Locks[k] = v
+	}
+	for k, v := range m.Barriers {
+		cp.Barriers[k] = *v
+	}
+	return cp
+}
+
+// Release drops the checkpoint's hold on shared memory pages.
+func (cp *Checkpoint) Release() { cp.MemSnap.Release() }
+
+// Hash returns the architectural state hash of the checkpoint; two
+// executions are considered identical at a boundary iff their hashes match.
+func (cp *Checkpoint) Hash() uint64 {
+	return stateHash(cp.MemSnap.Hash(), cp.Threads, cp.Locks, cp.Barriers, cp.NextTID)
+}
+
+// LiveThreads reports how many checkpointed threads are live.
+func (cp *Checkpoint) LiveThreads() int {
+	n := 0
+	for _, t := range cp.Threads {
+		if t.Status.Live() {
+			n++
+		}
+	}
+	return n
+}
+
+// Restore builds a fresh machine from the checkpoint. The new machine
+// shares memory pages copy-on-write with the checkpoint and any other
+// machine restored from it, so concurrent epoch executions are independent.
+func (cp *Checkpoint) Restore(prog *Program, os SyscallHandler, cost *CostModel) *Machine {
+	if cost == nil {
+		cost = DefaultCosts()
+	}
+	m := &Machine{
+		Prog:     prog,
+		Mem:      cp.MemSnap.Restore(),
+		Threads:  make([]*Thread, len(cp.Threads)),
+		Locks:    make(map[Word]int, len(cp.Locks)),
+		Barriers: make(map[Word]*BarrierState, len(cp.Barriers)),
+		OS:       os,
+		Cost:     cost,
+		nextTID:  cp.NextTID,
+	}
+	for i, t := range cp.Threads {
+		c := t.clone()
+		m.Threads[i] = c
+		if c.Status.Live() {
+			m.liveCount++
+		}
+		if c.Status == Faulted {
+			m.faultCount++
+		}
+	}
+	for k, v := range cp.Locks {
+		m.Locks[k] = v
+	}
+	for k, v := range cp.Barriers {
+		b := v
+		m.Barriers[k] = &b
+	}
+	m.Mem.ResetStats()
+	return m
+}
+
+// StateHash returns the machine's current architectural state hash.
+func (m *Machine) StateHash() uint64 {
+	bars := make(map[Word]BarrierState, len(m.Barriers))
+	for k, v := range m.Barriers {
+		bars[k] = *v
+	}
+	return stateHash(m.Mem.Hash(), m.Threads, m.Locks, bars, m.nextTID)
+}
+
+func stateHash(memHash uint64, threads []*Thread, locks map[Word]int, barriers map[Word]BarrierState, nextTID int) uint64 {
+	h := memHash
+	h = mix64(h, uint64(nextTID))
+	h = mix64(h, uint64(len(threads)))
+	for _, t := range threads {
+		h = t.stateHash(h)
+	}
+	// Map iteration order is randomised; fold in sorted order.
+	ids := make([]Word, 0, len(locks))
+	for id := range locks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		h = mix64(h, uint64(id)*0x9e37+uint64(locks[id])+1)
+	}
+	ids = ids[:0]
+	for id := range barriers {
+		b := barriers[id]
+		if b.Gen == 0 && b.Arrived == 0 {
+			continue // untouched barriers hash like absent ones
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b := barriers[id]
+		h = mix64(h, uint64(id)*0x517c+uint64(b.Gen)*31+uint64(b.Arrived)+3)
+	}
+	return h
+}
+
+// DescribeState summarises thread states for diagnostics.
+func (m *Machine) DescribeState() string {
+	s := ""
+	for _, t := range m.Threads {
+		s += fmt.Sprintf("tid %d: pc=%d retired=%d %s", t.ID, t.PC, t.Retired, t.Status)
+		if t.Status.Blocked() {
+			s += fmt.Sprintf(" wait=%d", t.waitObj)
+		}
+		if t.Fault != "" {
+			s += " fault=" + t.Fault
+		}
+		s += "\n"
+	}
+	return s
+}

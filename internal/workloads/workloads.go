@@ -1,0 +1,161 @@
+// Package workloads defines the guest benchmark suite, mirroring the
+// paper's evaluation mix: client programs (pbzip, pfscan, aget), server
+// programs (webserve, kvdb), SPLASH-2-style scientific kernels (fft, lu,
+// radix, ocean, water), and racy microbenchmarks for the divergence
+// experiments. Every workload is a guest program built with internal/asm
+// plus a simulated world, and every race-free workload self-checks its
+// result: the guest stores 1 into its OK cell only if the computation's
+// output is correct.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"doubleplay/internal/asm"
+	"doubleplay/internal/simos"
+	"doubleplay/internal/vm"
+)
+
+// Word aliases the guest word type.
+type Word = vm.Word
+
+// Params size a workload build.
+type Params struct {
+	Workers int   // worker thread count (the paper evaluates 2 and 4)
+	Scale   int   // problem size multiplier; 1 is the default size
+	Seed    int64 // drives input generation
+}
+
+func (p Params) norm() Params {
+	if p.Workers <= 0 {
+		p.Workers = 2
+	}
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Built is a ready-to-run workload instance.
+type Built struct {
+	Prog  *vm.Program
+	World *simos.World
+	// OK is the guest address of the self-check cell: 1 after a verified
+	// run, 0 otherwise. Zero means the workload has no self-check.
+	OK Word
+}
+
+// CheckOK inspects a final checkpoint's memory for the self-check verdict.
+func (bt *Built) CheckOK(peek func(Word) Word) error {
+	if bt.OK == 0 {
+		return nil
+	}
+	if got := peek(bt.OK); got != 1 {
+		return fmt.Errorf("workload %s self-check failed (ok cell = %d)", bt.Prog.Name, got)
+	}
+	return nil
+}
+
+// Workload is one registered benchmark.
+type Workload struct {
+	Name string
+	Kind string // "client", "server", "scientific", "micro"
+	Desc string
+	Racy bool // contains intentional data races
+	Build func(p Params) *Built
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// Get returns the named workload, or nil.
+func Get(name string) *Workload { return registry[name] }
+
+// Names returns all workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all workloads in a stable order: the paper's presentation
+// order (clients, servers, scientific), then micros.
+func All() []*Workload {
+	order := []string{"pbzip", "pfscan", "aget", "webserve", "kvdb", "fft", "lu", "radix", "ocean", "water", "racey", "webserve-racy"}
+	var out []*Workload
+	for _, n := range order {
+		if w := registry[n]; w != nil {
+			out = append(out, w)
+		}
+	}
+	for _, n := range Names() {
+		found := false
+		for _, o := range order {
+			if o == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, registry[n])
+		}
+	}
+	return out
+}
+
+// RaceFree returns the workloads with no intentional races — the set every
+// fidelity test must pass without divergence.
+func RaceFree() []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if !w.Racy {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// spawnJoin emits the standard fork/join skeleton: spawn workers threads
+// running fn with their index as the argument, then join them all.
+func spawnJoin(m *asm.Func, workers int, fn string) {
+	tids := m.Regs(workers)
+	arg := m.Reg()
+	for k := 0; k < workers; k++ {
+		m.Movi(arg, Word(k))
+		m.Spawn(tids[k], fn, arg)
+	}
+	for k := 0; k < workers; k++ {
+		m.Join(tids[k])
+	}
+}
+
+// hostRNG is a small deterministic generator for host-side input synthesis.
+type hostRNG struct{ s uint64 }
+
+func newRNG(seed int64) *hostRNG { return &hostRNG{s: uint64(seed)*0x9e3779b97f4a7c15 + 0x1234567} }
+
+func (r *hostRNG) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// intn returns a value in [0, n).
+func (r *hostRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// word returns a non-negative word below bound.
+func (r *hostRNG) word(bound int64) Word { return Word(r.next() % uint64(bound)) }
