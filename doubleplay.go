@@ -38,6 +38,7 @@ package doubleplay
 import (
 	"io"
 
+	"doubleplay/internal/analyze"
 	"doubleplay/internal/asm"
 	"doubleplay/internal/core"
 	"doubleplay/internal/dplog"
@@ -182,6 +183,20 @@ func BuildWorkload(name string, p WorkloadParams) *BuiltWorkload {
 	}
 	return w.Build(p)
 }
+
+// VetReport is the result of statically analyzing a guest program.
+type VetReport = analyze.Findings
+
+// VetFinding is one static-analysis finding.
+type VetFinding = analyze.Finding
+
+// Vet statically screens a guest program without executing it: CFG and
+// dataflow checks (branch targets, lock balance, uninitialized and dead
+// registers) plus a lockset race screen whose candidates cover every
+// address the dynamic detector can implicate. Use it before Record to
+// know which programs can diverge, and FindRaces afterwards to confirm
+// which candidates are real. See cmd/dpvet for the CLI.
+func Vet(prog *Program) *VetReport { return analyze.Run(prog) }
 
 // RaceReport is one detected data race.
 type RaceReport = race.Report

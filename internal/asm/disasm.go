@@ -2,6 +2,7 @@ package asm
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"doubleplay/internal/vm"
@@ -9,15 +10,66 @@ import (
 
 // Disassemble renders a program as a human-readable listing with function
 // headers, used by the CLI's disasm command and by debugging tests.
-func Disassemble(p *vm.Program) string {
+func Disassemble(p *vm.Program) string { return Listing(p, nil) }
+
+// branchLabels assigns an "L<pc>" label to every in-range branch target.
+func branchLabels(p *vm.Program) map[int]string {
+	labels := make(map[int]string)
+	for _, in := range p.Code {
+		switch in.Op {
+		case vm.OpJmp, vm.OpJz, vm.OpJnz:
+			if t := int(in.Imm); t >= 0 && t < len(p.Code) {
+				labels[t] = fmt.Sprintf("L%d", t)
+			}
+		}
+	}
+	return labels
+}
+
+// symInstr renders one instruction with branch targets as labels and
+// call/spawn/handler targets by function name.
+func symInstr(p *vm.Program, in vm.Instr, labels map[int]string) string {
+	fname := func(idx vm.Word) string {
+		if idx >= 0 && int(idx) < len(p.Funcs) {
+			return p.Funcs[idx].Name
+		}
+		return fmt.Sprintf("fn%d!", idx)
+	}
+	target := func(t vm.Word) string {
+		if l, ok := labels[int(t)]; ok {
+			return l
+		}
+		return fmt.Sprintf("%d!", t)
+	}
+	switch in.Op {
+	case vm.OpJmp:
+		return "jmp " + target(in.Imm)
+	case vm.OpJz, vm.OpJnz:
+		return fmt.Sprintf("%s r%d, %s", in.Op, in.A, target(in.Imm))
+	case vm.OpCall:
+		return "call " + fname(in.Imm)
+	case vm.OpSpawn:
+		return fmt.Sprintf("spawn r%d, %s, r%d", in.A, fname(in.Imm), in.B)
+	case vm.OpSigH:
+		return "sig.handler " + fname(in.Imm)
+	default:
+		return in.String()
+	}
+}
+
+// Listing renders a labeled full-program listing: function headers,
+// "L<pc>:" labels at branch targets, symbolic branch/call/spawn operands,
+// and optional per-pc annotation lines (rendered as trailing comments),
+// as used by the dpvet CLI to show findings in context.
+func Listing(p *vm.Program, notes map[int][]string) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "; program %q: %d instructions, %d functions, %d data words @%d\n",
 		p.Name, len(p.Code), len(p.Funcs), len(p.Data), p.DataBase)
-	// Map entry points to function indices for headers.
 	heads := make(map[int][]int)
 	for i, f := range p.Funcs {
 		heads[f.Entry] = append(heads[f.Entry], i)
 	}
+	labels := branchLabels(p)
 	for pc, in := range p.Code {
 		for _, fi := range heads[pc] {
 			f := p.Funcs[fi]
@@ -27,7 +79,57 @@ func Disassemble(p *vm.Program) string {
 			}
 			fmt.Fprintf(&sb, "\n%s(%d args)%s:\n", f.Name, f.NArgs, marker)
 		}
-		fmt.Fprintf(&sb, "%6d  %s\n", pc, in)
+		if l, ok := labels[pc]; ok {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		fmt.Fprintf(&sb, "%6d  %s\n", pc, symInstr(p, in, labels))
+		for _, note := range notes[pc] {
+			fmt.Fprintf(&sb, "        ; ^ %s\n", note)
+		}
+	}
+	if len(notes) > 0 {
+		// Notes outside the code range (program-level findings).
+		var extra []int
+		for pc := range notes {
+			if pc < 0 || pc >= len(p.Code) {
+				extra = append(extra, pc)
+			}
+		}
+		sort.Ints(extra)
+		for _, pc := range extra {
+			for _, note := range notes[pc] {
+				fmt.Fprintf(&sb, "; %s\n", note)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Context renders the instructions in a window of radius around pc, with
+// a marker on pc itself — the disassembly context dpvet prints under
+// each finding.
+func Context(p *vm.Program, pc, radius int) string {
+	if pc < 0 || pc >= len(p.Code) {
+		return ""
+	}
+	lo, hi := pc-radius, pc+radius
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(p.Code) {
+		hi = len(p.Code) - 1
+	}
+	if f := p.FuncAt(pc); f != nil && lo < f.Entry {
+		lo = f.Entry
+	}
+	labels := branchLabels(p)
+	var sb strings.Builder
+	for i := lo; i <= hi; i++ {
+		mark := "   "
+		if i == pc {
+			mark = "-> "
+		}
+		fmt.Fprintf(&sb, "    %s%5d  %s\n", mark, i, symInstr(p, p.Code[i], labels))
 	}
 	return sb.String()
 }

@@ -1,0 +1,74 @@
+package asm_test
+
+import (
+	"strings"
+	"testing"
+
+	"doubleplay/internal/asm"
+)
+
+func buildUnbalanced(verify bool) (*asm.Builder, error) {
+	b := asm.NewBuilder("bad")
+	b.SetVerify(verify)
+	f := b.Func("main", 0)
+	f.UnlockR(f.Const(3)) // released but never acquired: error-severity
+	f.HaltImm(0)
+	_, err := b.Build()
+	return b, err
+}
+
+func TestBuilderVerifyRejectsErrors(t *testing.T) {
+	if _, err := buildUnbalanced(false); err != nil {
+		t.Fatalf("unverified build must succeed, got %v", err)
+	}
+	_, err := buildUnbalanced(true)
+	if err == nil {
+		t.Fatal("verified build accepted an unbalanced unlock")
+	}
+	if !strings.Contains(err.Error(), "verify") || !strings.Contains(err.Error(), "unbalanced-lock") {
+		t.Fatalf("unhelpful verify error: %v", err)
+	}
+}
+
+func TestBuilderVerifyAcceptsWarnings(t *testing.T) {
+	b := asm.NewBuilder("warn")
+	b.SetVerify(true)
+	f := b.Func("main", 0)
+	r := f.Reg()
+	f.Movi(r, 1) // dead store: warning severity only
+	f.Movi(r, 2)
+	f.Halt(r)
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("warnings must not fail a verified build: %v", err)
+	}
+}
+
+func TestListingAndContext(t *testing.T) {
+	b := asm.NewBuilder("t")
+	f := b.Func("main", 0)
+	i := f.Reg()
+	f.Movi(i, 0)
+	f.ForLtImm(i, 3, func() {})
+	f.HaltImm(0)
+	g := b.Func("helper", 1)
+	g.RetImm(0)
+	prog := b.MustBuild()
+
+	lst := asm.Listing(prog, map[int][]string{1: {"loop head"}})
+	for _, want := range []string{"main(0 args) (entry):", "helper(1 args):", "jmp L", "; ^ loop head", "halt"} {
+		if !strings.Contains(lst, want) {
+			t.Fatalf("listing lacks %q:\n%s", want, lst)
+		}
+	}
+	if lst != asm.Listing(prog, map[int][]string{1: {"loop head"}}) {
+		t.Fatal("listing not deterministic")
+	}
+
+	ctx := asm.Context(prog, 2, 1)
+	if !strings.Contains(ctx, "-> ") {
+		t.Fatalf("context lacks the pc marker:\n%s", ctx)
+	}
+	if got := strings.Count(ctx, "\n"); got > 3 {
+		t.Fatalf("context radius 1 printed %d lines:\n%s", got, ctx)
+	}
+}

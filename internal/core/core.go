@@ -114,10 +114,10 @@ type Stats struct {
 	Slices      int   // timeslices in the replay schedule
 	GuestFaults int
 
-	Divergences       int // epochs whose executions disagreed
-	HashRecoveries    int // recovered by adopting the epoch-parallel state
-	RerunRecoveries   int // recovered by re-running the epoch uniprocessor
-	SquashedCycles    int64
+	Divergences     int // epochs whose executions disagreed
+	HashRecoveries  int // recovered by adopting the epoch-parallel state
+	RerunRecoveries int // recovered by re-running the epoch uniprocessor
+	SquashedCycles  int64
 
 	CheckpointPages int64 // Σ mapped pages over all checkpoints
 	CowPages        int64 // pages copied by checkpoint copy-on-write

@@ -138,8 +138,8 @@ type decoder struct {
 	r *bufio.Reader
 }
 
-func (d *decoder) u() (uint64, error)  { return binary.ReadUvarint(d.r) }
-func (d *decoder) i() (int64, error)   { return binary.ReadVarint(d.r) }
+func (d *decoder) u() (uint64, error) { return binary.ReadUvarint(d.r) }
+func (d *decoder) i() (int64, error)  { return binary.ReadVarint(d.r) }
 
 func (d *decoder) str() (string, error) {
 	n, err := d.u()

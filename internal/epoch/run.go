@@ -76,11 +76,11 @@ type RunSpec struct {
 
 // RunResult is the outcome of an epoch-parallel execution.
 type RunResult struct {
-	M        *vm.Machine    // final machine state
-	Schedule []dplog.Slice  // the uniprocessor timeslice log — the replay log
-	Cycles   int64          // serialized execution time on the single CPU
-	Injected int            // syscalls injected
-	Enforced int            // gated sync ops consumed
+	M        *vm.Machine   // final machine state
+	Schedule []dplog.Slice // the uniprocessor timeslice log — the replay log
+	Cycles   int64         // serialized execution time on the single CPU
+	Injected int           // syscalls injected
+	Enforced int           // gated sync ops consumed
 	EndHash  uint64
 }
 

@@ -17,15 +17,15 @@ import (
 
 // CharRow describes one workload's execution profile (Table 1).
 type CharRow struct {
-	Workload   string
-	Kind       string
-	Workers    int
-	Retired    int64
-	SyncOps    int
-	Syscalls   int
-	Pages      int
-	Epochs     int
-	NativeCyc  int64
+	Workload  string
+	Kind      string
+	Workers   int
+	Retired   int64
+	SyncOps   int
+	Syscalls  int
+	Pages     int
+	Epochs    int
+	NativeCyc int64
 }
 
 // Table1 profiles every evaluation workload.
@@ -128,14 +128,14 @@ func RenderOverhead(w io.Writer, cfg Config, workers, spares int, title string) 
 
 // LogSizeRow compares DoublePlay's replay log with the CREW ownership log.
 type LogSizeRow struct {
-	Workload   string
-	Retired    int64
-	DPBytes    int
-	DPPerM     float64 // bytes per million instructions
-	CrewBytes  int
-	CrewPerM   float64
-	CrewTrans  int64
-	UniBytes   int
+	Workload  string
+	Retired   int64
+	DPBytes   int
+	DPPerM    float64 // bytes per million instructions
+	CrewBytes int
+	CrewPerM  float64
+	CrewTrans int64
+	UniBytes  int
 }
 
 // LogSize measures log sizes at 4 worker threads.
@@ -485,12 +485,12 @@ func Ablation(cfg Config) []AblationRow {
 
 // AdaptiveRow compares fixed against growing epoch lengths.
 type AdaptiveRow struct {
-	Workload       string
-	FixedEpochs    int
-	FixedOverhead  float64
-	GrownEpochs    int
-	GrownOverhead  float64
-	FirstEpochCyc  int64 // divergence-detection latency bound early in the run
+	Workload      string
+	FixedEpochs   int
+	FixedOverhead float64
+	GrownEpochs   int
+	GrownOverhead float64
+	FirstEpochCyc int64 // divergence-detection latency bound early in the run
 }
 
 // AdaptiveSet is the workload subset for the adaptive-epoch ablation.

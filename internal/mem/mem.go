@@ -34,9 +34,9 @@ type Word = int64
 // page is a refcounted block of guest words. A page with refs > 1 is shared
 // between memories/snapshots and must be copied before being written.
 type page struct {
-	refs  atomic.Int32
-	data  [PageWords]Word
-	hash  uint64 // cached content hash; valid iff hashOK
+	refs   atomic.Int32
+	data   [PageWords]Word
+	hash   uint64 // cached content hash; valid iff hashOK
 	hashOK bool
 }
 

@@ -43,9 +43,9 @@ type Parallel struct {
 }
 
 type pcpu struct {
-	clock   int64
-	tid     int // bound thread, or -1
-	sliceN  int64
+	clock  int64
+	tid    int // bound thread, or -1
+	sliceN int64
 }
 
 // NewParallel builds a scheduler for m over the given number of CPUs.

@@ -234,14 +234,31 @@ func (p *Program) FuncByName(name string) int {
 }
 
 // FuncAt returns the function whose body contains code index pc, for
-// diagnostics. Returns nil if pc is out of range.
+// diagnostics. A function's body extends from its entry up to (but not
+// including) the next function's entry, or the end of the code segment for
+// the last function. Returns nil if pc falls outside every body.
 func (p *Program) FuncAt(pc int) *FuncInfo {
+	if pc < 0 || pc >= len(p.Code) {
+		return nil
+	}
 	var best *FuncInfo
 	for i := range p.Funcs {
 		f := &p.Funcs[i]
 		if f.Entry <= pc && (best == nil || f.Entry > best.Entry) {
 			best = f
 		}
+	}
+	if best == nil {
+		return nil
+	}
+	end := len(p.Code)
+	for i := range p.Funcs {
+		if e := p.Funcs[i].Entry; e > best.Entry && e < end {
+			end = e
+		}
+	}
+	if pc >= end {
+		return nil
 	}
 	return best
 }

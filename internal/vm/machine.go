@@ -168,8 +168,13 @@ type BarrierState struct {
 }
 
 // NewMachine builds a machine at the program's entry point with a single
-// runnable thread (tid 0).
+// runnable thread (tid 0). The program must pass Validate; a malformed
+// image panics with an error wrapping ErrInvalidProgram rather than
+// surfacing later as a guest fault at some unrelated pc.
 func NewMachine(prog *Program, os SyscallHandler, cost *CostModel) *Machine {
+	if err := prog.Validate(); err != nil {
+		panic(err)
+	}
 	if cost == nil {
 		cost = DefaultCosts()
 	}

@@ -459,10 +459,10 @@ func TestSyscallResultAndWrites(t *testing.T) {
 		main.Sys(77, a, bb)
 		got, addr := main.Reg(), main.Reg()
 		main.Movi(addr, 500)
-		main.Ld(got, addr, 0)         // num = 77
+		main.Ld(got, addr, 0)          // num = 77
 		main.Add(got, got, asm.RetReg) // + 42
-		main.Ld(addr, addr, 1)        // args[0] = 30
-		main.Add(got, got, addr)      // 149
+		main.Ld(addr, addr, 1)         // args[0] = 30
+		main.Add(got, got, addr)       // 149
 		main.Halt(got)
 	}
 	b.SetEntry("main")

@@ -9,21 +9,21 @@ import (
 
 func init() {
 	register(&Workload{
-		Name: "pbzip",
-		Kind: "client",
-		Desc: "parallel block compressor: work-queue of blocks, RLE compress, verify by decompression, commit output",
+		Name:  "pbzip",
+		Kind:  "client",
+		Desc:  "parallel block compressor: work-queue of blocks, RLE compress, verify by decompression, commit output",
 		Build: buildPbzip,
 	})
 	register(&Workload{
-		Name: "pfscan",
-		Kind: "client",
-		Desc: "parallel file scanner: work-queue of files read through the VFS, counting pattern occurrences",
+		Name:  "pfscan",
+		Kind:  "client",
+		Desc:  "parallel file scanner: work-queue of files read through the VFS, counting pattern occurrences",
 		Build: buildPfscan,
 	})
 	register(&Workload{
-		Name: "aget",
-		Kind: "client",
-		Desc: "parallel range downloader: workers fetch disjoint ranges of a remote resource over a latency-bound link",
+		Name:  "aget",
+		Kind:  "client",
+		Desc:  "parallel range downloader: workers fetch disjoint ranges of a remote resource over a latency-bound link",
 		Build: buildAget,
 	})
 }

@@ -7,9 +7,9 @@ import (
 
 func init() {
 	register(&Workload{
-		Name: "fft",
-		Kind: "scientific",
-		Desc: "SPLASH-style FFT: parallel iterative number-theoretic transform with a barrier per stage; exact self-inverse check",
+		Name:  "fft",
+		Kind:  "scientific",
+		Desc:  "SPLASH-style FFT: parallel iterative number-theoretic transform with a barrier per stage; exact self-inverse check",
 		Build: buildFFT,
 	})
 }

@@ -7,9 +7,9 @@ import (
 
 func init() {
 	register(&Workload{
-		Name: "lu",
-		Kind: "scientific",
-		Desc: "SPLASH-style LU: in-place factorisation over GF(p) with row-interleaved workers, a barrier per pivot, and exact L*U reconstruction check",
+		Name:  "lu",
+		Kind:  "scientific",
+		Desc:  "SPLASH-style LU: in-place factorisation over GF(p) with row-interleaved workers, a barrier per pivot, and exact L*U reconstruction check",
 		Build: buildLU,
 	})
 }

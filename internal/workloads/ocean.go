@@ -7,9 +7,9 @@ import (
 
 func init() {
 	register(&Workload{
-		Name: "ocean",
-		Kind: "scientific",
-		Desc: "SPLASH-style ocean: Jacobi relaxation over a 2-D grid, rows split across workers, one barrier per sweep; checked against a host-mirrored result",
+		Name:  "ocean",
+		Kind:  "scientific",
+		Desc:  "SPLASH-style ocean: Jacobi relaxation over a 2-D grid, rows split across workers, one barrier per sweep; checked against a host-mirrored result",
 		Build: buildOcean,
 	})
 }

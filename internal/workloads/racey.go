@@ -7,10 +7,10 @@ import (
 
 func init() {
 	register(&Workload{
-		Name: "racey",
-		Kind: "micro",
-		Racy: true,
-		Desc: "intentional data races: unlocked read-modify-write on hot counters and scattered array cells, mixed with locked work",
+		Name:  "racey",
+		Kind:  "micro",
+		Racy:  true,
+		Desc:  "intentional data races: unlocked read-modify-write on hot counters and scattered array cells, mixed with locked work",
 		Build: buildRacey,
 	})
 }
@@ -91,5 +91,10 @@ func buildRacey(p Params) *Built {
 	}
 	b.SetEntry("main")
 
-	return &Built{Prog: b.MustBuild(), World: simos.NewWorld(p.Seed), OK: okCell}
+	return &Built{
+		Prog:      b.MustBuild(),
+		World:     simos.NewWorld(p.Seed),
+		OK:        okCell,
+		RacyAddrs: []Word{counter, arr, arr + cells - 1},
+	}
 }

@@ -7,9 +7,9 @@ import (
 
 func init() {
 	register(&Workload{
-		Name: "radix",
-		Kind: "scientific",
-		Desc: "SPLASH-style radix sort: per-worker histograms, serial prefix phase, parallel scatter, barrier-synchronised passes",
+		Name:  "radix",
+		Kind:  "scientific",
+		Desc:  "SPLASH-style radix sort: per-worker histograms, serial prefix phase, parallel scatter, barrier-synchronised passes",
 		Build: buildRadix,
 	})
 }

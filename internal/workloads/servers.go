@@ -9,22 +9,22 @@ import (
 
 func init() {
 	register(&Workload{
-		Name: "webserve",
-		Kind: "server",
-		Desc: "threaded web server: worker pool accepts scripted connections, serves files from the VFS, lock-protected stats",
+		Name:  "webserve",
+		Kind:  "server",
+		Desc:  "threaded web server: worker pool accepts scripted connections, serves files from the VFS, lock-protected stats",
 		Build: func(p Params) *Built { return buildWebserve(p, false) },
 	})
 	register(&Workload{
-		Name: "webserve-racy",
-		Kind: "micro",
-		Racy: true,
-		Desc: "webserve with an unsynchronised hit counter: a low-rate data race on a hot cell",
+		Name:  "webserve-racy",
+		Kind:  "micro",
+		Racy:  true,
+		Desc:  "webserve with an unsynchronised hit counter: a low-rate data race on a hot cell",
 		Build: func(p Params) *Built { return buildWebserve(p, true) },
 	})
 	register(&Workload{
-		Name: "kvdb",
-		Kind: "server",
-		Desc: "transactional KV store: lock-striped hash table, per-thread transaction mix, batched WAL commits",
+		Name:  "kvdb",
+		Kind:  "server",
+		Desc:  "transactional KV store: lock-striped hash table, per-thread transaction mix, batched WAL commits",
 		Build: buildKvdb,
 	})
 }
@@ -196,7 +196,11 @@ func buildWebserve(p Params, racy bool) *Built {
 	}
 	b.SetEntry("main")
 
-	return &Built{Prog: b.MustBuild(), World: world, OK: okCell}
+	bt := &Built{Prog: b.MustBuild(), World: world, OK: okCell}
+	if racy {
+		bt.RacyAddrs = []Word{racyHits}
+	}
+	return bt
 }
 
 // --- kvdb --------------------------------------------------------------------

@@ -7,9 +7,9 @@ import (
 
 func init() {
 	register(&Workload{
-		Name: "sigping",
-		Kind: "micro",
-		Desc: "asynchronous signals interrupt compute workers: handlers bill per-signal work against a known script; exercises signal logging and exact-point redelivery",
+		Name:  "sigping",
+		Kind:  "micro",
+		Desc:  "asynchronous signals interrupt compute workers: handlers bill per-signal work against a known script; exercises signal logging and exact-point redelivery",
 		Build: buildSigping,
 	})
 }

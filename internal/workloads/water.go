@@ -7,9 +7,9 @@ import (
 
 func init() {
 	register(&Workload{
-		Name: "water",
-		Kind: "scientific",
-		Desc: "SPLASH-style water: O(n^2) pairwise force evaluation and integration over particles, two barriers per timestep; checked against a host-mirrored result",
+		Name:  "water",
+		Kind:  "scientific",
+		Desc:  "SPLASH-style water: O(n^2) pairwise force evaluation and integration over particles, two barriers per timestep; checked against a host-mirrored result",
 		Build: buildWater,
 	})
 }

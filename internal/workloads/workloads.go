@@ -47,6 +47,10 @@ type Built struct {
 	// OK is the guest address of the self-check cell: 1 after a verified
 	// run, 0 otherwise. Zero means the workload has no self-check.
 	OK Word
+	// RacyAddrs lists guest addresses of the intentionally racy cells in
+	// workloads marked Racy — ground truth for cross-validating the
+	// static race screen and the dynamic detector. Empty when race-free.
+	RacyAddrs []Word
 }
 
 // CheckOK inspects a final checkpoint's memory for the self-check verdict.
@@ -62,10 +66,10 @@ func (bt *Built) CheckOK(peek func(Word) Word) error {
 
 // Workload is one registered benchmark.
 type Workload struct {
-	Name string
-	Kind string // "client", "server", "scientific", "micro"
-	Desc string
-	Racy bool // contains intentional data races
+	Name  string
+	Kind  string // "client", "server", "scientific", "micro"
+	Desc  string
+	Racy  bool // contains intentional data races
 	Build func(p Params) *Built
 }
 

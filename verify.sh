@@ -1,0 +1,26 @@
+#!/bin/sh
+# verify.sh — the repo's full local gate: formatting, vet, build, tests,
+# and the static screen over every builtin workload (dpvet exits non-zero
+# on error findings or any disagreement with the suite's Racy metadata).
+set -e
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build + test"
+go build ./...
+go test ./...
+
+echo "== dpvet (static screen, all builtin workloads)"
+go run ./cmd/dpvet -q
+
+echo "verify.sh: all checks passed"

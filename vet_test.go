@@ -1,0 +1,47 @@
+package doubleplay_test
+
+import (
+	"testing"
+
+	"doubleplay"
+)
+
+// TestVetCoversDynamicRaces checks the contract that makes the static
+// screen a useful pre-filter for the dynamic detector: every address
+// FindRaces implicates on a racy workload lies inside some candidate
+// Vet reported, and a clean workload draws no candidates at all.
+func TestVetCoversDynamicRaces(t *testing.T) {
+	for _, name := range []string{"racey", "webserve-racy"} {
+		bt := doubleplay.BuildWorkload(name, doubleplay.WorkloadParams{Workers: 2, Seed: 3})
+		rep := doubleplay.Vet(bt.Prog)
+		if len(rep.Races()) == 0 {
+			t.Fatalf("%s: no race candidates: %v", name, rep.List)
+		}
+		for _, addr := range bt.RacyAddrs {
+			if !rep.Covers(addr) {
+				t.Errorf("%s: known racy cell %d not covered", name, addr)
+			}
+		}
+		races, err := doubleplay.FindRaces(bt.Prog, bt.World)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(races) == 0 {
+			t.Fatalf("%s: dynamic detector found nothing to cross-check", name)
+		}
+		for _, r := range races {
+			if !rep.Covers(r.Addr) {
+				t.Errorf("%s: dynamic race on %d not covered by the static screen", name, r.Addr)
+			}
+		}
+	}
+
+	clean := doubleplay.BuildWorkload("webserve", doubleplay.WorkloadParams{Workers: 2, Seed: 3})
+	rep := doubleplay.Vet(clean.Prog)
+	if n := len(rep.Races()); n != 0 {
+		t.Fatalf("webserve: %d false candidates: %v", n, rep.Races())
+	}
+	if rep.Errors() != 0 {
+		t.Fatalf("webserve: error findings: %v", rep.List)
+	}
+}
