@@ -24,6 +24,7 @@ import (
 	"doubleplay/internal/replay"
 	"doubleplay/internal/sched"
 	"doubleplay/internal/simos"
+	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
 	"doubleplay/internal/workloads"
 )
@@ -49,10 +50,38 @@ func main() {
 		stride   = fs.Int("stride", 0, "also verify sparse segment-parallel replay with this checkpoint stride")
 		detect   = fs.Bool("detect-races", false, "run the happens-before detector during recording")
 		growth   = fs.Float64("growth", 1, "adaptive epoch growth factor (>1 enables)")
+		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON timeline to this file (record/verify/replay)")
+		metrics  = fs.Bool("metrics", false, "print the metrics registry after the run (record/verify)")
 	)
 	fs.Parse(args)
 	if *spares == 0 {
 		*spares = *workers
+	}
+	var sink *trace.Sink
+	if *traceOut != "" {
+		sink = trace.NewSink()
+	}
+	var reg *trace.Registry
+	if *metrics {
+		reg = trace.NewRegistry()
+	}
+	// Written at the end of record/verify/replay when -trace was given.
+	flushTrace := func() {
+		if sink == nil {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		check(err)
+		check(sink.WriteJSON(f))
+		check(f.Close())
+		fmt.Printf("trace: %d events -> %s (open with https://ui.perfetto.dev)\n", sink.Len(), *traceOut)
+	}
+	flushMetrics := func() {
+		if reg == nil {
+			return
+		}
+		fmt.Println("metrics:")
+		reg.Render(os.Stdout)
 	}
 
 	switch cmd {
@@ -67,7 +96,7 @@ func main() {
 
 	case "record":
 		bt := mustBuild(*wlName, *workers, *scale, *seed)
-		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect)
+		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, sink, reg)
 		printStats(*wlName, res)
 		printRaces(res)
 		if *outPath != "" {
@@ -77,6 +106,8 @@ func main() {
 			check(f.Close())
 			fmt.Printf("wrote %s (%d bytes replay log)\n", *outPath, res.Stats.ReplayBytes)
 		}
+		flushTrace()
+		flushMetrics()
 
 	case "replay":
 		bt := mustBuild(*wlName, *workers, *scale, *seed)
@@ -88,27 +119,28 @@ func main() {
 		rec, err := dplog.Unmarshal(f)
 		check(err)
 		check(f.Close())
-		rep, err := replay.Sequential(bt.Prog, rec, nil)
+		rep, err := replay.Sequential(bt.Prog, rec, nil, sink)
 		check(err)
 		fmt.Printf("replayed %d epochs in %d simulated cycles; final hash %016x verified\n",
 			rep.Epochs, rep.Cycles, rep.FinalHash)
+		flushTrace()
 
 	case "verify":
 		bt := mustBuild(*wlName, *workers, *scale, *seed)
-		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect)
+		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, sink, reg)
 		printStats(*wlName, res)
 		printRaces(res)
-		seq, err := replay.Sequential(bt.Prog, res.Recording, nil)
+		seq, err := replay.Sequential(bt.Prog, res.Recording, nil, sink)
 		check(err)
 		fmt.Printf("sequential replay: OK (%d cycles)\n", seq.Cycles)
 		if *parallel {
-			par, err := replay.Parallel(bt.Prog, res.Recording, res.Boundaries, *workers, nil)
+			par, err := replay.Parallel(bt.Prog, res.Recording, res.Boundaries, *workers, nil, sink)
 			check(err)
 			fmt.Printf("parallel replay:   OK (%d cycles on %d cores)\n", par.Cycles, *workers)
 		}
 		if *stride > 1 {
 			sparse := res.ThinBoundaries(*stride)
-			sp, err := replay.ParallelSparse(bt.Prog, res.Recording, sparse, *workers, nil)
+			sp, err := replay.ParallelSparse(bt.Prog, res.Recording, sparse, *workers, nil, sink)
 			check(err)
 			fmt.Printf("sparse replay:     OK (stride %d, %d of %d checkpoints kept, %d cycles)\n",
 				*stride, len(sparse), len(res.Recording.Epochs)+1, sp.Cycles)
@@ -118,6 +150,8 @@ func main() {
 			fatal(err.Error())
 		}
 		fmt.Println("guest self-check:  OK")
+		flushTrace()
+		flushMetrics()
 
 	case "inspect":
 		if *logPath == "" {
@@ -173,7 +207,7 @@ func mustBuild(name string, workers, scale int, seed int64) *workloads.Built {
 	return wl.Build(workloads.Params{Workers: workers, Scale: scale, Seed: seed})
 }
 
-func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, growth float64, detect bool) *core.Result {
+func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, growth float64, detect bool, sink *trace.Sink, reg *trace.Registry) *core.Result {
 	res, err := core.Record(bt.Prog, bt.World, core.Options{
 		Workers:     workers,
 		RecordCPUs:  workers,
@@ -182,6 +216,8 @@ func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, 
 		Seed:        seed,
 		EpochGrowth: growth,
 		DetectRaces: detect,
+		Trace:       sink,
+		Metrics:     reg,
 	})
 	check(err)
 	return res

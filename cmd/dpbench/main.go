@@ -8,6 +8,8 @@
 //	dpbench -exp all
 //	dpbench -exp overhead2          # F1: overhead with spare cores, 2 threads
 //	dpbench -exp overhead4 -seed 7  # F2 with a different seed
+//	dpbench -exp overhead2 -trace out.json   # timeline of every run, Perfetto-viewable
+//	dpbench -exp overhead2 -metrics          # aggregate counters after the tables
 //	dpbench -list                   # show available experiments
 package main
 
@@ -17,15 +19,18 @@ import (
 	"os"
 
 	"doubleplay/internal/exp"
+	"doubleplay/internal/trace"
 )
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment to run (see -list)")
-		seed    = flag.Int64("seed", 11, "input/timing seed")
-		scale   = flag.Int("scale", 1, "problem size multiplier")
-		seeds   = flag.Int("seeds", 12, "seed count for the divergence experiment")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		expName   = flag.String("exp", "all", "experiment to run (see -list)")
+		seed      = flag.Int64("seed", 11, "input/timing seed")
+		scale     = flag.Int("scale", 1, "problem size multiplier")
+		seeds     = flag.Int("seeds", 12, "seed count for the divergence experiment")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file")
+		metricsOn = flag.Bool("metrics", false, "print the aggregate metrics registry after the experiments")
 	)
 	flag.Parse()
 
@@ -73,6 +78,12 @@ func main() {
 	}
 
 	cfg := exp.Config{Seed: *seed, Scale: *scale}
+	if *traceOut != "" {
+		cfg.Trace = trace.NewSink()
+	}
+	if *metricsOn {
+		cfg.Metrics = trace.NewRegistry()
+	}
 	ran := false
 	for _, r := range runners {
 		if *expName == "all" || *expName == r.name {
@@ -83,5 +94,27 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "dpbench: unknown experiment %q (try -list)\n", *expName)
 		os.Exit(2)
+	}
+	if cfg.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := cfg.Trace.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %d events -> %s (open with https://ui.perfetto.dev)\n", cfg.Trace.Len(), *traceOut)
+	}
+	if cfg.Metrics != nil {
+		fmt.Println("\nmetrics")
+		fmt.Println("=======")
+		cfg.Metrics.Render(os.Stdout)
 	}
 }

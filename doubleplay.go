@@ -47,6 +47,7 @@ import (
 	"doubleplay/internal/replay"
 	"doubleplay/internal/sched"
 	"doubleplay/internal/simos"
+	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
 	"doubleplay/internal/workloads"
 )
@@ -91,6 +92,24 @@ type Boundary = epoch.Boundary
 // calibration used by the evaluation.
 type CostModel = vm.CostModel
 
+// TraceSink collects timeline events from recordings and replays; set
+// RecordOptions.Trace (or use [ReplaySequentialTraced]) and export with
+// its WriteJSON method. Events use the Chrome trace_event format,
+// viewable at https://ui.perfetto.dev; see docs/OBSERVABILITY.md for the
+// event schema. A nil *TraceSink is valid everywhere and disables tracing
+// at zero cost.
+type TraceSink = trace.Sink
+
+// NewTraceSink returns an empty, enabled trace sink.
+func NewTraceSink() *TraceSink { return trace.NewSink() }
+
+// MetricsRegistry aggregates counters, gauges, and latency histograms
+// across recordings; set RecordOptions.Metrics and print with Render.
+type MetricsRegistry = trace.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return trace.NewRegistry() }
+
 // WorkloadParams size a builtin benchmark instance.
 type WorkloadParams = workloads.Params
 
@@ -125,20 +144,33 @@ func RunNative(prog *Program, world *World, cpus int, seed int64) (*NativeResult
 // ReplaySequential reproduces a recording epoch by epoch on one simulated
 // CPU, verifying every boundary hash.
 func ReplaySequential(prog *Program, rec *Recording) (*ReplayResult, error) {
-	return replay.Sequential(prog, rec, nil)
+	return replay.Sequential(prog, rec, nil, nil)
 }
 
 // ReplayParallel replays all epochs concurrently from the retained
 // checkpoints across cpus host workers.
 func ReplayParallel(prog *Program, rec *Recording, boundaries []*Boundary, cpus int) (*ReplayResult, error) {
-	return replay.Parallel(prog, rec, boundaries, cpus, nil)
+	return replay.Parallel(prog, rec, boundaries, cpus, nil, nil)
 }
 
 // ReplayParallelSparse replays segments of consecutive epochs concurrently
 // from a thinned checkpoint set (see RecordResult.ThinBoundaries), trading
 // replay parallelism for checkpoint memory.
 func ReplayParallelSparse(prog *Program, rec *Recording, sparse []*Boundary, cpus int) (*ReplayResult, error) {
-	return replay.ParallelSparse(prog, rec, sparse, cpus, nil)
+	return replay.ParallelSparse(prog, rec, sparse, cpus, nil, nil)
+}
+
+// ReplaySequentialTraced is ReplaySequential with a timeline sink: the
+// replay's epochs and timeslices are appended to sink as "replay.epoch"
+// spans. A nil sink makes it identical to ReplaySequential.
+func ReplaySequentialTraced(prog *Program, rec *Recording, sink *TraceSink) (*ReplayResult, error) {
+	return replay.Sequential(prog, rec, nil, sink)
+}
+
+// ReplayParallelTraced is ReplayParallel with a timeline sink: each epoch
+// appears at its packed position on a per-core track.
+func ReplayParallelTraced(prog *Program, rec *Recording, boundaries []*Boundary, cpus int, sink *TraceSink) (*ReplayResult, error) {
+	return replay.Parallel(prog, rec, boundaries, cpus, nil, sink)
 }
 
 // SaveRecording writes a recording in the binary log format.

@@ -8,6 +8,15 @@
 // replay reproduces. When a data race makes the two executions disagree at
 // an epoch boundary, forward recovery adopts the epoch-parallel state as
 // the truth and resumes the thread-parallel run from it.
+//
+// This package owns the recording control loop and everything only it can
+// know: epoch boundary placement, the verification pipeline's timing model
+// ([Options.SpareCPUs]), divergence detection and both forward-recovery
+// strategies, and the per-run aggregates in [Stats]. When [Options.Trace]
+// or [Options.Metrics] is set, the recorder additionally narrates the run
+// — epoch/verify/commit spans, checkpoint and divergence events, log-append
+// instants — without perturbing a single simulated cycle (see
+// internal/trace and docs/OBSERVABILITY.md).
 package core
 
 import (
@@ -19,6 +28,7 @@ import (
 	"doubleplay/internal/race"
 	"doubleplay/internal/sched"
 	"doubleplay/internal/simos"
+	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
 )
 
@@ -73,6 +83,19 @@ type Options struct {
 
 	// MaxEpochs bounds the recording as a safety net.
 	MaxEpochs int
+
+	// Trace, when non-nil, receives the recording's event timeline:
+	// epoch/verify/commit spans, checkpoint create/restore, divergences and
+	// recoveries, per-append syscall/sync/signal instants, and pipeline
+	// slot occupancy. Tracing is observational only — it never changes any
+	// simulated clock, so all Stats are bit-identical with and without it.
+	// docs/OBSERVABILITY.md documents every event.
+	Trace *trace.Sink
+
+	// Metrics, when non-nil, aggregates counters, gauges, and histograms
+	// about the recording, labelled by workload (and epoch for per-epoch
+	// series).
+	Metrics *trace.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -190,10 +213,13 @@ func (r *Result) ThinBoundaries(stride int) []*epoch.Boundary {
 }
 
 // recordOS wraps the simulated OS and appends every retired syscall to the
-// current epoch's log.
+// current epoch's log, emitting a "syscall" trace instant per append when a
+// sink is attached.
 type recordOS struct {
 	inner vm.SyscallHandler
 	cur   *[]dplog.SyscallRecord
+	tr    *trace.Sink
+	trPid int64
 }
 
 func (r *recordOS) Syscall(m *vm.Machine, t *vm.Thread, num vm.Word, args [6]vm.Word) vm.SysResult {
@@ -202,6 +228,9 @@ func (r *recordOS) Syscall(m *vm.Machine, t *vm.Thread, num vm.Word, args [6]vm.
 		*r.cur = append(*r.cur, dplog.SyscallRecord{
 			Tid: t.ID, Num: num, Args: args, Ret: res.Ret, Writes: res.Writes,
 		})
+		if r.tr.Enabled() {
+			r.tr.Instant("syscall", m.Now, r.trPid, int64(t.ID), map[string]any{"num": num})
+		}
 	}
 	return res
 }
@@ -240,8 +269,15 @@ func newPipeline(spare, recordCPUs int) *pipeline {
 	return p
 }
 
-func (p *pipeline) schedule(startReady, checkReady, dur int64) int64 {
-	var fin int64
+// placement reports where the pipeline ran one epoch's verification: on
+// which spare core (slot, -1 in the utilized configuration), and over which
+// simulated interval. finish is the epoch's commit point.
+type placement struct {
+	slot          int
+	start, finish int64
+}
+
+func (p *pipeline) schedule(startReady, checkReady, dur int64) placement {
 	if len(p.spares) > 0 {
 		c := 0
 		for i := 1; i < len(p.spares); i++ {
@@ -253,19 +289,33 @@ func (p *pipeline) schedule(startReady, checkReady, dur int64) int64 {
 		if start < startReady {
 			start = startReady
 		}
-		fin = start + dur
+		fin := start + dur
 		if fin < checkReady {
 			fin = checkReady
 		}
 		p.spares[c] = fin
-	} else {
-		p.busy += dur
-		fin = checkReady + p.busy/int64(p.recordCPUs)
+		if fin > p.lastFinish {
+			p.lastFinish = fin
+		}
+		return placement{slot: c, start: start, finish: fin}
 	}
+	start := checkReady + p.busy/int64(p.recordCPUs)
+	p.busy += dur
+	fin := checkReady + p.busy/int64(p.recordCPUs)
 	if fin > p.lastFinish {
 		p.lastFinish = fin
 	}
-	return fin
+	return placement{slot: -1, start: start, finish: fin}
+}
+
+// slotTid maps a pipeline slot to its trace track id within the record
+// process: tid 0 is the epoch/recovery track, spare slot s is tid 1+s, and
+// the utilized configuration's smeared epoch work shares tid 1.
+func slotTid(slot int) int64 {
+	if slot < 0 {
+		return 1
+	}
+	return int64(1 + slot)
 }
 
 func (p *pipeline) completion(tpFinish int64) int64 {
@@ -285,19 +335,45 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 	opt = opt.withDefaults()
 	costs := opt.Costs
 
+	tr := opt.Trace
+	reg := opt.Metrics
+	var wl string // workload label for metrics
+	if reg != nil {
+		wl = trace.Label("workload", prog.Name)
+	}
+	var pidRec, pidGuest int64
+	if tr.Enabled() {
+		pidRec = tr.AllocPid("record " + prog.Name)
+		pidGuest = tr.AllocPid("guest " + prog.Name + " (thread-parallel)")
+		tr.NameThread(pidRec, 0, "epochs + recovery")
+		if opt.SpareCPUs > 0 {
+			for s := 0; s < opt.SpareCPUs; s++ {
+				tr.NameThread(pidRec, int64(1+s), fmt.Sprintf("pipeline slot %d", s))
+			}
+		} else {
+			tr.NameThread(pidRec, 1, "epoch work (shared cores)")
+		}
+	}
+
 	var curSys []dplog.SyscallRecord
 	var curSync []dplog.SyncRecord
 	var curSigs []dplog.SignalRecord
 
 	liveWorld := world
-	ros := &recordOS{inner: simos.NewOS(liveWorld), cur: &curSys}
+	ros := &recordOS{inner: simos.NewOS(liveWorld), cur: &curSys, tr: tr, trPid: pidGuest}
+
+	var m *vm.Machine
 	syncHook := func(ev vm.SyncEvent) {
 		if ev.Gated() {
 			curSync = append(curSync, dplog.SyncRecord{Tid: ev.Tid, Kind: ev.Obj.Kind, ID: ev.Obj.ID})
+			if tr.Enabled() {
+				tr.Instant("sync", m.Now, pidGuest, int64(ev.Tid),
+					map[string]any{"kind": ev.Obj.Kind.String(), "id": ev.Obj.ID})
+			}
 		}
 	}
 
-	m := vm.NewMachine(prog, ros, costs)
+	m = vm.NewMachine(prog, ros, costs)
 	m.Hooks.OnSync = syncHook
 	// Signal deliveries come from the world's script and are logged with
 	// the exact retired-instruction position they interrupted.
@@ -305,13 +381,23 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 		sig, ok := liveWorld.NextSignal(t.ID, m.Now)
 		if ok {
 			curSigs = append(curSigs, dplog.SignalRecord{Tid: t.ID, Retired: t.Retired, Sig: sig})
+			if tr.Enabled() {
+				tr.Instant("signal", m.Now, pidGuest, int64(t.ID),
+					map[string]any{"sig": sig, "retired": t.Retired})
+			}
 		}
 		return sig, ok
 	}
 	m.Hooks.PendingSignal = sigHook
 	par := sched.NewParallel(m, opt.RecordCPUs, opt.Seed)
+	par.Trace = tr
+	par.TracePid = pidGuest
 
 	boundaries := []*epoch.Boundary{epoch.Capture(0, 0, m, liveWorld)}
+	if tr.Enabled() {
+		tr.Instant("checkpoint.create", 0, pidRec, 0,
+			map[string]any{"epoch": 0, "pages": boundaries[0].MappedPages})
+	}
 	rec := &dplog.Recording{Program: prog.Name, Workers: opt.Workers, Seed: opt.Seed}
 	pl := newPipeline(opt.SpareCPUs, opt.RecordCPUs)
 	var stats Stats
@@ -360,11 +446,35 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 		}
 		stats.SyncEvents += len(curSync)
 		stats.Syscalls += len(curSys)
+		stats.Signals += len(curSigs)
 		curSync = nil
 		curSys = nil
 		curSigs = nil
 
+		if tr.Enabled() {
+			// The thread-parallel execution of epoch i, and the log-append
+			// running totals at its boundary. The epoch span count always
+			// equals Stats.Epochs: every loop iteration logs exactly one.
+			tr.Span("epoch", start.Cycle, b.Cycle-start.Cycle, pidRec, 0, map[string]any{
+				"epoch": i, "syscalls": len(ep.Syscalls), "syncops": len(ep.SyncOrder),
+				"signals": len(ep.Signals),
+			})
+			tr.Instant("checkpoint.create", b.Cycle, pidRec, 0,
+				map[string]any{"epoch": i + 1, "pages": mapped, "cow_pages": cow})
+			tr.Counter("log.syscalls", b.Cycle, pidRec, int64(stats.Syscalls))
+			tr.Counter("log.syncops", b.Cycle, pidRec, int64(stats.SyncEvents))
+			tr.Counter("log.signals", b.Cycle, pidRec, int64(stats.Signals))
+			tr.Counter("mem.pages", b.Cycle, pidRec, mapped)
+		}
+
 		// Epoch-parallel execution of epoch i, constrained and injected.
+		// With tracing on, its timeslices accumulate in a buffer with
+		// epoch-local timestamps, spliced below once the pipeline places
+		// the epoch in simulated time.
+		var epbuf *trace.Sink
+		if tr.Enabled() {
+			epbuf = trace.NewSink()
+		}
 		spec := epoch.RunSpec{
 			Prog:               prog,
 			Start:              start,
@@ -375,6 +485,7 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			Quantum:            opt.Quantum,
 			Costs:              costs,
 			DisableEnforcement: opt.DisableSyncEnforcement,
+			Trace:              epbuf,
 		}
 		if det != nil {
 			spec.OnSync = det.OnSync
@@ -393,7 +504,12 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			ep.EndHash = b.Hash
 			ep.Schedule = res.Schedule
 			rec.Epochs = append(rec.Epochs, ep)
-			pl.schedule(start.Cycle, b.Cycle, dur)
+			pm := pl.schedule(start.Cycle, b.Cycle, dur)
+			traceVerify(tr, pidRec, pm, epbuf, i, dur, true)
+			if tr.Enabled() {
+				tr.Instant("epoch.commit", pm.finish, pidRec, slotTid(pm.slot),
+					map[string]any{"epoch": i, "lag": pm.finish - b.Cycle})
+			}
 			if opt.EpochGrowth > 1 {
 				grown := int64(float64(epochLen) * opt.EpochGrowth)
 				if grown > opt.EpochCyclesMax {
@@ -410,15 +526,17 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			// is replaced. Forward recovery: adopt, squash, resume.
 			stats.Divergences++
 			stats.HashRecoveries++
+			pages := res.M.Mem.DiffPages(b.CP.MemSnap.Restore())
 			divInfo = append(divInfo, DivergenceInfo{
 				Epoch: i,
 				Kind:  "state",
-				Pages: res.M.Mem.DiffPages(b.CP.MemSnap.Restore()),
+				Pages: pages,
 			})
 			ep.EndHash = res.EndHash
 			ep.Schedule = res.Schedule
 			rec.Epochs = append(rec.Epochs, ep)
-			detect := pl.schedule(start.Cycle, b.Cycle, dur)
+			pm := pl.schedule(start.Cycle, b.Cycle, dur)
+			detect := pm.finish
 			stats.SquashedCycles += maxi64(0, detect-b.Cycle)
 			nb := &epoch.Boundary{
 				Index:       b.Index,
@@ -429,7 +547,19 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 				MappedPages: res.M.Mem.PageCount(),
 			}
 			boundaries[len(boundaries)-1] = nb
-			m, par = resumeFrom(prog, nb, ros, syncHook, sigHook, costs, opt, detect, len(boundaries))
+			traceVerify(tr, pidRec, pm, epbuf, i, dur, false)
+			if tr.Enabled() {
+				tr.Instant("divergence", detect, pidRec, 0,
+					map[string]any{"epoch": i, "kind": "state", "pages": len(pages)})
+				tr.Instant("recovery.adopt", detect, pidRec, 0, map[string]any{"epoch": i})
+				tr.Instant("epoch.commit", detect, pidRec, slotTid(pm.slot),
+					map[string]any{"epoch": i, "lag": detect - b.Cycle})
+				tr.Instant("checkpoint.create", detect, pidRec, 0,
+					map[string]any{"epoch": nb.Index, "pages": nb.MappedPages, "reason": "recovery.adopt"})
+				tr.Instant("checkpoint.restore", detect, pidRec, 0,
+					map[string]any{"epoch": nb.Index, "reason": "recovery.adopt"})
+			}
+			m, par = resumeFrom(prog, nb, ros, syncHook, sigHook, costs, opt, detect, len(boundaries), pidGuest)
 			liveWorld = currentWorld(ros)
 			epochLen = opt.EpochCycles // divergence: back to short epochs
 
@@ -444,7 +574,11 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			stats.RerunRecoveries++
 			divInfo = append(divInfo, DivergenceInfo{Epoch: i, Kind: "input", Reason: err.Error()})
 			quota := sumTargets(ep.Targets) - sumRetired(start.CP)
-			reb, rr, rerr := rerunEpoch(prog, start, quota, costs, opt)
+			var rrbuf *trace.Sink
+			if tr.Enabled() {
+				rrbuf = trace.NewSink()
+			}
+			reb, rr, rerr := rerunEpoch(prog, start, quota, costs, opt, rrbuf)
 			if rerr != nil {
 				return nil, fmt.Errorf("core: forward recovery of epoch %d failed: %w", i, rerr)
 			}
@@ -457,17 +591,42 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			ep.EndHash = reb.Hash
 			ep.CommitHash = reb.World.OutputHash()
 			rec.Epochs = append(rec.Epochs, ep)
-			detect := pl.schedule(start.Cycle, b.Cycle, dur) + rcycles
+			pm := pl.schedule(start.Cycle, b.Cycle, dur)
+			detect := pm.finish + rcycles
 			stats.SquashedCycles += maxi64(0, detect-b.Cycle)
 			stats.EpochSerialCycles += rcycles
 			reb.Cycle = detect
 			boundaries[len(boundaries)-1] = reb
-			m, par = resumeFrom(prog, reb, ros, syncHook, sigHook, costs, opt, detect, len(boundaries))
+			traceVerify(tr, pidRec, pm, epbuf, i, dur, false)
+			if tr.Enabled() {
+				tr.Instant("divergence", pm.finish, pidRec, 0,
+					map[string]any{"epoch": i, "kind": "input", "reason": err.Error()})
+				tr.Instant("checkpoint.restore", pm.finish, pidRec, 0,
+					map[string]any{"epoch": i, "reason": "recovery.rerun"})
+				tr.Span("recovery.rerun", pm.finish, rcycles, pidRec, 0, map[string]any{"epoch": i})
+				tr.Splice(rrbuf, pm.finish, pidRec, 0)
+				tr.Instant("checkpoint.create", detect, pidRec, 0,
+					map[string]any{"epoch": reb.Index, "pages": reb.MappedPages, "reason": "recovery.rerun"})
+				tr.Instant("epoch.commit", detect, pidRec, 0,
+					map[string]any{"epoch": i, "lag": detect - b.Cycle})
+				tr.Instant("checkpoint.restore", detect, pidRec, 0,
+					map[string]any{"epoch": reb.Index, "reason": "resume"})
+			}
+			m, par = resumeFrom(prog, reb, ros, syncHook, sigHook, costs, opt, detect, len(boundaries), pidGuest)
 			liveWorld = currentWorld(ros)
 			epochLen = opt.EpochCycles // divergence: back to short epochs
 
 		default:
 			return nil, fmt.Errorf("core: epoch %d verification failed: %w", i, err)
+		}
+
+		if reg != nil {
+			reg.Observe("epoch.cycles", dur, wl)
+			reg.Observe("epoch.syscalls", int64(len(ep.Syscalls)), wl)
+			reg.Observe("epoch.syncops", int64(len(ep.SyncOrder)), wl)
+			reg.Observe("checkpoint.pages", mapped, wl)
+			reg.Add("record.cow_pages", cow, wl)
+			reg.Set("epoch.cycles", float64(dur), wl, trace.Label("epoch", i))
 		}
 	}
 
@@ -487,6 +646,24 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 	stats.ReplayBytes = rec.ReplaySize()
 	stats.FullBytes = rec.FullSize()
 
+	if tr.Enabled() {
+		tr.Instant("record.done", stats.CompletionCycles, pidRec, 0, map[string]any{
+			"epochs": stats.Epochs, "divergences": stats.Divergences,
+			"syscalls": stats.Syscalls, "replay_bytes": stats.ReplayBytes,
+		})
+	}
+	if reg != nil {
+		reg.Add("record.runs", 1, wl)
+		reg.Add("record.epochs", int64(stats.Epochs), wl)
+		reg.Add("record.divergences", int64(stats.Divergences), wl)
+		reg.Add("record.syscalls", int64(stats.Syscalls), wl)
+		reg.Add("record.syncops", int64(stats.SyncEvents), wl)
+		reg.Add("record.signals", int64(stats.Signals), wl)
+		reg.Set("record.completion_cycles", float64(stats.CompletionCycles), wl)
+		reg.Set("record.thread_parallel_cycles", float64(stats.ThreadParallelCycles), wl)
+		reg.Set("record.replay_bytes", float64(stats.ReplayBytes), wl)
+	}
+
 	out := &Result{
 		Recording:  rec,
 		Boundaries: boundaries,
@@ -501,17 +678,36 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 	return out, nil
 }
 
+// traceVerify emits one epoch's "epoch.verify" pipeline span and splices
+// the epoch-parallel run's buffered timeslices at the span's start. The
+// splice is skipped in the utilized configuration (slot -1), whose epoch
+// work is smeared across the record CPUs rather than run contiguously.
+func traceVerify(tr *trace.Sink, pidRec int64, pm placement, epbuf *trace.Sink, ep int, dur int64, verified bool) {
+	if !tr.Enabled() {
+		return
+	}
+	tid := slotTid(pm.slot)
+	tr.Span("epoch.verify", pm.start, pm.finish-pm.start, pidRec, tid, map[string]any{
+		"epoch": ep, "slot": pm.slot, "cycles": dur, "verified": verified,
+	})
+	if pm.slot >= 0 {
+		tr.Splice(epbuf, pm.start, pidRec, tid)
+	}
+}
+
 // resumeFrom rebuilds the thread-parallel machine and scheduler from an
 // adopted boundary; the live world becomes a clone of the boundary's.
 func resumeFrom(prog *vm.Program, b *epoch.Boundary, ros *recordOS,
 	syncHook func(vm.SyncEvent), sigHook func(*vm.Thread) (vm.Word, bool),
-	costs *vm.CostModel, opt Options, clock int64, salt int) (*vm.Machine, *sched.Parallel) {
+	costs *vm.CostModel, opt Options, clock int64, salt int, tracePid int64) (*vm.Machine, *sched.Parallel) {
 	w := b.World.Clone()
 	ros.inner = simos.NewOS(w)
 	m := b.CP.Restore(prog, ros, costs)
 	m.Hooks.OnSync = syncHook
 	m.Hooks.PendingSignal = sigHook
 	par := sched.NewParallel(m, opt.RecordCPUs, opt.Seed+int64(salt)*7919)
+	par.Trace = opt.Trace
+	par.TracePid = tracePid
 	par.SetBaseClock(clock)
 	return m, par
 }
@@ -532,23 +728,29 @@ type rerunResult struct {
 // rerunEpoch performs the re-execution half of forward recovery: a free
 // uniprocessor run of roughly one epoch's worth of instructions from the
 // boundary, against a rolled-back world, with its schedule, syscalls, and
-// signal deliveries recorded.
+// signal deliveries recorded. When buf is non-nil the re-execution's
+// timeslices and log appends are traced into it with run-local timestamps;
+// the caller splices them under the "recovery.rerun" span.
 func rerunEpoch(prog *vm.Program, start *epoch.Boundary, quota uint64,
-	costs *vm.CostModel, opt Options) (*epoch.Boundary, *rerunResult, error) {
+	costs *vm.CostModel, opt Options, buf *trace.Sink) (*epoch.Boundary, *rerunResult, error) {
 	w := start.World.Clone()
 	rr := &rerunResult{}
-	ros := &recordOS{inner: simos.NewOS(w), cur: &rr.sys}
+	ros := &recordOS{inner: simos.NewOS(w), cur: &rr.sys, tr: buf}
 	m := start.CP.Restore(prog, ros, costs)
 	m.Hooks.PendingSignal = func(t *vm.Thread) (vm.Word, bool) {
 		sig, ok := w.NextSignal(t.ID, m.Now)
 		if ok {
 			rr.sigs = append(rr.sigs, dplog.SignalRecord{Tid: t.ID, Retired: t.Retired, Sig: sig})
+			if buf.Enabled() {
+				buf.Instant("signal", m.Now, 0, int64(t.ID), map[string]any{"sig": sig, "retired": t.Retired})
+			}
 		}
 		return sig, ok
 	}
 	uni := sched.NewUni(m)
 	uni.Quantum = opt.Quantum
 	uni.LogSchedule = true
+	uni.Trace = buf
 	if quota == 0 {
 		quota = 1
 	}

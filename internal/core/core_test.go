@@ -23,23 +23,23 @@ func TestPipelineSpareScheduling(t *testing.T) {
 	p := newPipeline(2, 4)
 	// Epoch 0: checkpoint 0 at t=0, checkpoint 1 at t=100, runs 300 cycles.
 	f0 := p.schedule(0, 100, 300)
-	if f0 != 300 {
-		t.Fatalf("f0 = %d, want 300", f0)
+	if f0.finish != 300 || f0.slot != 0 || f0.start != 0 {
+		t.Fatalf("f0 = %+v, want finish 300 on slot 0 from 0", f0)
 	}
 	// Epoch 1: starts at its checkpoint (t=100) on the second spare core.
 	f1 := p.schedule(100, 200, 300)
-	if f1 != 400 {
-		t.Fatalf("f1 = %d, want 400", f1)
+	if f1.finish != 400 || f1.slot != 1 || f1.start != 100 {
+		t.Fatalf("f1 = %+v, want finish 400 on slot 1 from 100", f1)
 	}
 	// Epoch 2: both cores busy until 300; starts there.
 	f2 := p.schedule(200, 300, 300)
-	if f2 != 600 {
-		t.Fatalf("f2 = %d, want 600", f2)
+	if f2.finish != 600 || f2.start != 300 {
+		t.Fatalf("f2 = %+v, want finish 600 from 300", f2)
 	}
 	// An epoch cannot commit before its end checkpoint exists.
 	f3 := p.schedule(300, 5000, 10)
-	if f3 != 5000 {
-		t.Fatalf("f3 = %d, want 5000 (end-checkpoint bound)", f3)
+	if f3.finish != 5000 {
+		t.Fatalf("f3 = %+v, want finish 5000 (end-checkpoint bound)", f3)
 	}
 	if got := p.completion(450); got != 5000 {
 		t.Fatalf("completion = %d", got)
@@ -96,7 +96,7 @@ func TestRecordProducesChainedEpochs(t *testing.T) {
 func TestUtilizedModeRecordsAndReplays(t *testing.T) {
 	prog, ok := mixedProg(2, 150)
 	res := recordAndCheck(t, prog, ok, Options{Workers: 2, SpareCPUs: 0, EpochCycles: 4000, Seed: 5})
-	if _, err := replay.Sequential(prog, res.Recording, nil); err != nil {
+	if _, err := replay.Sequential(prog, res.Recording, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Utilized completion must include displaced epoch work.
@@ -119,7 +119,7 @@ func TestDisableSyncEnforcementCausesDivergences(t *testing.T) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		div += res.Stats.Divergences
-		if _, err := replay.Sequential(prog, res.Recording, nil); err != nil {
+		if _, err := replay.Sequential(prog, res.Recording, nil, nil); err != nil {
 			t.Fatalf("seed %d: replay: %v", seed, err)
 		}
 	}
@@ -177,11 +177,11 @@ func TestQuickRecordReplayRandomPrograms(t *testing.T) {
 			t.Log("self-check failed")
 			return false
 		}
-		if _, err := replay.Sequential(prog, res.Recording, nil); err != nil {
+		if _, err := replay.Sequential(prog, res.Recording, nil, nil); err != nil {
 			t.Logf("seq replay: %v", err)
 			return false
 		}
-		if _, err := replay.Parallel(prog, res.Recording, res.Boundaries, workers, nil); err != nil {
+		if _, err := replay.Parallel(prog, res.Recording, res.Boundaries, workers, nil, nil); err != nil {
 			t.Logf("par replay: %v", err)
 			return false
 		}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"doubleplay/internal/replay"
+	"doubleplay/internal/trace"
+	"doubleplay/internal/workloads"
+)
+
+// goldenRun pins the recorder's cycle accounting: CompletionCycles and
+// Epochs for every benchmark at the evaluation configuration (seed 11,
+// scale 1, spares = workers, default epoch length), captured before the
+// observability layer existed. Tracing is purely observational, so these
+// values must stay bit-identical with a nil sink AND with a live one; a
+// diff here means an instrumentation change perturbed the timing model.
+type goldenRun struct {
+	name    string
+	workers int
+	cycles  int64
+	epochs  int
+}
+
+var goldenRuns = []goldenRun{
+	{"pbzip", 2, 1150271, 40}, {"pfscan", 2, 950090, 34}, {"aget", 2, 916647, 33},
+	{"webserve", 2, 966839, 33}, {"kvdb", 2, 394579, 14}, {"fft", 2, 465567, 17},
+	{"lu", 2, 640074, 24}, {"radix", 2, 679484, 25}, {"ocean", 2, 898567, 33},
+	{"water", 2, 668800, 25}, {"racey", 2, 212463, 3}, {"webserve-racy", 2, 968262, 33},
+	{"pbzip", 4, 630663, 21}, {"pfscan", 4, 537210, 17}, {"aget", 4, 851737, 31},
+	{"webserve", 4, 573796, 17}, {"kvdb", 4, 270276, 8}, {"fft", 4, 283256, 9},
+	{"lu", 4, 390784, 13}, {"radix", 4, 423217, 14}, {"ocean", 4, 507423, 18},
+	{"water", 4, 390561, 13}, {"racey", 4, 573123, 3}, {"webserve-racy", 4, 713069, 17},
+}
+
+func goldenRecord(t *testing.T, g goldenRun, sink *trace.Sink, reg *trace.Registry) *Result {
+	t.Helper()
+	wl := workloads.Get(g.name)
+	if wl == nil {
+		t.Fatalf("unknown workload %s", g.name)
+	}
+	bt := wl.Build(workloads.Params{Workers: g.workers, Scale: 1, Seed: 11})
+	res, err := Record(bt.Prog, bt.World, Options{
+		Workers: g.workers, RecordCPUs: g.workers, SpareCPUs: g.workers,
+		Seed: 11, Trace: sink, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatalf("record %s/%d: %v", g.name, g.workers, err)
+	}
+	return res
+}
+
+// TestGoldenCyclesUnchanged is the benchmark guard: recording with no sink
+// must reproduce the pre-observability cycle counts exactly.
+func TestGoldenCyclesUnchanged(t *testing.T) {
+	runs := goldenRuns
+	if testing.Short() {
+		runs = runs[:4]
+	}
+	for _, g := range runs {
+		res := goldenRecord(t, g, nil, nil)
+		if res.Stats.CompletionCycles != g.cycles || res.Stats.Epochs != g.epochs {
+			t.Errorf("%s/%d: got %d cycles %d epochs, golden %d cycles %d epochs",
+				g.name, g.workers, res.Stats.CompletionCycles, res.Stats.Epochs, g.cycles, g.epochs)
+		}
+	}
+}
+
+// TestTracingDoesNotPerturbCycles asserts the stronger property: even with
+// a live sink and registry attached, every simulated clock is untouched.
+func TestTracingDoesNotPerturbCycles(t *testing.T) {
+	runs := goldenRuns
+	if testing.Short() {
+		runs = runs[:4]
+	}
+	for _, g := range runs {
+		sink := trace.NewSink()
+		res := goldenRecord(t, g, sink, trace.NewRegistry())
+		if res.Stats.CompletionCycles != g.cycles || res.Stats.Epochs != g.epochs {
+			t.Errorf("%s/%d traced: got %d cycles %d epochs, golden %d cycles %d epochs",
+				g.name, g.workers, res.Stats.CompletionCycles, res.Stats.Epochs, g.cycles, g.epochs)
+		}
+		if sink.Len() == 0 {
+			t.Errorf("%s/%d traced: sink stayed empty", g.name, g.workers)
+		}
+	}
+}
+
+// countEvents tallies events by (name, phase).
+func countEvents(evs []trace.Event, name string, ph byte) int {
+	n := 0
+	for _, ev := range evs {
+		if ev.Name == name && ev.Ph == ph {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTraceConsistentWithStats records a divergence-free workload and
+// checks the event stream against the recorder's own accounting.
+func TestTraceConsistentWithStats(t *testing.T) {
+	g := goldenRun{name: "pbzip", workers: 2}
+	sink := trace.NewSink()
+	res := goldenRecord(t, g, sink, nil)
+	s := res.Stats
+	if s.Divergences != 0 {
+		t.Fatalf("pbzip diverged (%d); the exact-count assertions below assume a clean run", s.Divergences)
+	}
+	evs := sink.Events()
+
+	// One "epoch" span per recorded epoch, one commit each, and the initial
+	// checkpoint plus one per boundary.
+	if n := countEvents(evs, "epoch", trace.PhaseComplete); n != s.Epochs {
+		t.Errorf("epoch spans = %d, Stats.Epochs = %d", n, s.Epochs)
+	}
+	if n := countEvents(evs, "epoch.verify", trace.PhaseComplete); n != s.Epochs {
+		t.Errorf("epoch.verify spans = %d, Stats.Epochs = %d", n, s.Epochs)
+	}
+	if n := countEvents(evs, "epoch.commit", trace.PhaseInstant); n != s.Epochs {
+		t.Errorf("epoch.commit instants = %d, Stats.Epochs = %d", n, s.Epochs)
+	}
+	if n := countEvents(evs, "checkpoint.create", trace.PhaseInstant); n != s.Epochs+1 {
+		t.Errorf("checkpoint.create instants = %d, want epochs+1 = %d", n, s.Epochs+1)
+	}
+	// On a divergence-free run nothing is squashed, so the guest-side
+	// instants match the log counts exactly.
+	if n := countEvents(evs, "syscall", trace.PhaseInstant); n != s.Syscalls {
+		t.Errorf("syscall instants = %d, Stats.Syscalls = %d", n, s.Syscalls)
+	}
+	if n := countEvents(evs, "sync", trace.PhaseInstant); n != s.SyncEvents {
+		t.Errorf("sync instants = %d, Stats.SyncEvents = %d", n, s.SyncEvents)
+	}
+	if n := countEvents(evs, "signal", trace.PhaseInstant); n != s.Signals {
+		t.Errorf("signal instants = %d, Stats.Signals = %d", n, s.Signals)
+	}
+	if n := countEvents(evs, "divergence", trace.PhaseInstant); n != 0 {
+		t.Errorf("divergence instants = %d on a clean run", n)
+	}
+	if n := countEvents(evs, "record.done", trace.PhaseInstant); n != 1 {
+		t.Errorf("record.done instants = %d", n)
+	}
+
+	// The epoch timeline on the recorder track must be monotone and dense:
+	// epoch i+1 starts exactly where epoch i ends.
+	var prevEnd int64
+	for _, ev := range evs {
+		if ev.Name != "epoch" || ev.Ph != trace.PhaseComplete {
+			continue
+		}
+		if ev.Ts != prevEnd {
+			t.Fatalf("epoch span at %d does not abut previous end %d", ev.Ts, prevEnd)
+		}
+		if ev.Dur <= 0 {
+			t.Fatalf("epoch span at %d has dur %d", ev.Ts, ev.Dur)
+		}
+		prevEnd = ev.Ts + ev.Dur
+	}
+	// The last boundary is taken at the minimum CPU clock, while the wall
+	// time is the maximum, so the final span may stop a few cycles short.
+	if prevEnd > s.ThreadParallelCycles {
+		t.Errorf("epoch spans end at %d, past the thread-parallel wall time %d", prevEnd, s.ThreadParallelCycles)
+	}
+
+	// The JSON export round-trips every event.
+	var buf bytes.Buffer
+	if err := sink.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := trace.ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(evs) {
+		t.Errorf("JSON round trip: %d events, emitted %d", len(parsed), len(evs))
+	}
+}
+
+// TestTraceRecordsDivergences records a racy workload and checks that each
+// divergence and its forward recovery shows up on the timeline.
+func TestTraceRecordsDivergences(t *testing.T) {
+	g := goldenRun{name: "racey", workers: 2}
+	sink := trace.NewSink()
+	res := goldenRecord(t, g, sink, nil)
+	s := res.Stats
+	if s.Divergences == 0 {
+		t.Fatal("racey did not diverge; the recovery-tracing assertions need one")
+	}
+	evs := sink.Events()
+	if n := countEvents(evs, "divergence", trace.PhaseInstant); n != s.Divergences {
+		t.Errorf("divergence instants = %d, Stats.Divergences = %d", n, s.Divergences)
+	}
+	adopts := countEvents(evs, "recovery.adopt", trace.PhaseInstant)
+	reruns := countEvents(evs, "recovery.rerun", trace.PhaseComplete)
+	if adopts != s.HashRecoveries || reruns != s.RerunRecoveries {
+		t.Errorf("recoveries: adopt %d/%d, rerun %d/%d",
+			adopts, s.HashRecoveries, reruns, s.RerunRecoveries)
+	}
+	if n := countEvents(evs, "epoch", trace.PhaseComplete); n != s.Epochs {
+		t.Errorf("epoch spans = %d, Stats.Epochs = %d", n, s.Epochs)
+	}
+}
+
+// TestReplayTraceMatchesEpochs checks that a traced sequential replay
+// narrates exactly the recording's epochs, back to back.
+func TestReplayTraceMatchesEpochs(t *testing.T) {
+	g := goldenRun{name: "fft", workers: 2}
+	res := goldenRecord(t, g, nil, nil)
+	wl := workloads.Get(g.name)
+	bt := wl.Build(workloads.Params{Workers: g.workers, Scale: 1, Seed: 11})
+
+	sink := trace.NewSink()
+	rep, err := replay.Sequential(bt.Prog, res.Recording, nil, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := sink.Events()
+	if n := countEvents(evs, "replay.epoch", trace.PhaseComplete); n != rep.Epochs {
+		t.Errorf("replay.epoch spans = %d, replayed %d epochs", n, rep.Epochs)
+	}
+	var prevEnd int64
+	for _, ev := range evs {
+		if ev.Name != "replay.epoch" {
+			continue
+		}
+		if ev.Ts != prevEnd {
+			t.Fatalf("replay.epoch at %d does not abut previous end %d", ev.Ts, prevEnd)
+		}
+		prevEnd = ev.Ts + ev.Dur
+	}
+	if prevEnd != rep.Cycles {
+		t.Errorf("replay.epoch spans end at %d, replay took %d", prevEnd, rep.Cycles)
+	}
+
+	// Parallel replay: one span per epoch, makespan equals the last span end.
+	psink := trace.NewSink()
+	par, err := replay.Parallel(bt.Prog, res.Recording, res.Boundaries, g.workers, nil, psink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxEnd int64
+	n := 0
+	for _, ev := range psink.Events() {
+		if ev.Name != "replay.epoch" || ev.Ph != trace.PhaseComplete {
+			continue
+		}
+		n++
+		if end := ev.Ts + ev.Dur; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	if n != par.Epochs {
+		t.Errorf("parallel replay.epoch spans = %d, want %d", n, par.Epochs)
+	}
+	if maxEnd != par.Cycles {
+		t.Errorf("parallel spans end at %d, makespan %d", maxEnd, par.Cycles)
+	}
+}

@@ -180,7 +180,7 @@ func TestRecordReplayLockedCounter(t *testing.T) {
 		t.Fatal("no epochs recorded")
 	}
 
-	seq, err := replay.Sequential(prog, res.Recording, nil)
+	seq, err := replay.Sequential(prog, res.Recording, nil, nil)
 	if err != nil {
 		t.Fatalf("Sequential replay: %v", err)
 	}
@@ -188,7 +188,7 @@ func TestRecordReplayLockedCounter(t *testing.T) {
 		t.Fatalf("sequential replay hash mismatch")
 	}
 
-	par, err := replay.Parallel(prog, res.Recording, res.Boundaries, 4, nil)
+	par, err := replay.Parallel(prog, res.Recording, res.Boundaries, 4, nil, nil)
 	if err != nil {
 		t.Fatalf("Parallel replay: %v", err)
 	}
@@ -203,7 +203,7 @@ func TestRecordReplayMixed(t *testing.T) {
 	if res.Stats.Syscalls == 0 {
 		t.Fatal("expected recorded syscalls")
 	}
-	if _, err := replay.Sequential(prog, res.Recording, nil); err != nil {
+	if _, err := replay.Sequential(prog, res.Recording, nil, nil); err != nil {
 		t.Fatalf("Sequential replay: %v", err)
 	}
 }
@@ -222,11 +222,11 @@ func TestRacyProgramRecoversAndReplays(t *testing.T) {
 			diverged = true
 		}
 		// Regardless of divergences, the log must replay exactly.
-		if _, err := replay.Sequential(prog, res.Recording, nil); err != nil {
+		if _, err := replay.Sequential(prog, res.Recording, nil, nil); err != nil {
 			t.Fatalf("seed %d: Sequential replay after %d divergences: %v",
 				seed, res.Stats.Divergences, err)
 		}
-		if _, err := replay.Parallel(prog, res.Recording, res.Boundaries, 4, nil); err != nil {
+		if _, err := replay.Parallel(prog, res.Recording, res.Boundaries, 4, nil, nil); err != nil {
 			t.Fatalf("seed %d: Parallel replay after %d divergences: %v",
 				seed, res.Stats.Divergences, err)
 		}

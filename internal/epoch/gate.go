@@ -2,6 +2,11 @@
 // (checkpoint + world snapshot), sync-order enforcement, syscall injection,
 // and the epoch-parallel runner that executes one epoch of the program with
 // all threads timesliced on a single simulated CPU.
+//
+// The runner optionally narrates its timeslices into a trace.Sink
+// (RunSpec.Trace) with epoch-local timestamps; the recorder splices that
+// buffer to the epoch's pipeline-assigned position once known, so the
+// Perfetto timeline shows epoch work where it actually ran.
 package epoch
 
 import (

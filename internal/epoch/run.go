@@ -7,6 +7,7 @@ import (
 	"doubleplay/internal/dplog"
 	"doubleplay/internal/sched"
 	"doubleplay/internal/simos"
+	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
 )
 
@@ -72,6 +73,12 @@ type RunSpec struct {
 	// detector attaches here.
 	OnSync      func(vm.SyncEvent)
 	OnMemAccess func(tid int, addr vm.Word, write bool)
+
+	// Trace, when non-nil, receives one "slice" span per executed
+	// timeslice with epoch-local timestamps (cycle 0 = epoch start on the
+	// virtual CPU). Callers splice the buffer to the epoch's
+	// pipeline-assigned position; see trace.Sink.Splice.
+	Trace *trace.Sink
 }
 
 // RunResult is the outcome of an epoch-parallel execution.
@@ -112,6 +119,7 @@ func Run(spec RunSpec) (*RunResult, error) {
 	uni.Quantum = spec.Quantum
 	uni.Targets = spec.Targets
 	uni.LogSchedule = true
+	uni.Trace = spec.Trace
 
 	err := uni.Run()
 	res := &RunResult{

@@ -11,6 +11,7 @@ import (
 
 	"doubleplay/internal/core"
 	"doubleplay/internal/simos"
+	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
 	"doubleplay/internal/workloads"
 )
@@ -25,6 +26,15 @@ type Config struct {
 	// Workloads, when non-empty, overrides the default benchmark list
 	// (EvalSet) for every experiment — used by quick runs and tests.
 	Workloads []string
+
+	// Trace, when non-nil, receives the full timeline of every recording
+	// and replay an experiment performs (dpbench -trace). Tracing is purely
+	// observational: experiment numbers are identical with or without it.
+	Trace *trace.Sink
+
+	// Metrics, when non-nil, aggregates per-run counters and distributions
+	// across every recording an experiment performs (dpbench -metrics).
+	Metrics *trace.Registry
 }
 
 // evalSet returns the benchmark list this configuration selects.
@@ -84,6 +94,8 @@ func record(name string, workers, spares int, cfg Config) (*core.Result, *worklo
 		EpochCycles: cfg.EpochCycles,
 		Seed:        cfg.Seed,
 		Costs:       cfg.Costs,
+		Trace:       cfg.Trace,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("exp: record %s: %v", name, err))

@@ -203,11 +203,11 @@ func ReplaySpeed(cfg Config, workers int) []ReplayRow {
 	for _, name := range cfg.evalSet() {
 		nat := native(name, workers, cfg)
 		res, bt := record(name, workers, workers, cfg)
-		seq, err := replay.Sequential(bt.Prog, res.Recording, cfg.Costs)
+		seq, err := replay.Sequential(bt.Prog, res.Recording, cfg.Costs, cfg.Trace)
 		if err != nil {
 			panic(fmt.Sprintf("exp: seq replay %s: %v", name, err))
 		}
-		par, err := replay.Parallel(bt.Prog, res.Recording, res.Boundaries, workers, cfg.Costs)
+		par, err := replay.Parallel(bt.Prog, res.Recording, res.Boundaries, workers, cfg.Costs, cfg.Trace)
 		if err != nil {
 			panic(fmt.Sprintf("exp: par replay %s: %v", name, err))
 		}
@@ -324,7 +324,7 @@ func Divergence(cfg Config, seeds int) []DivergenceRow {
 			row.HashRecoveries += res.Stats.HashRecoveries
 			row.RerunRecoveries += res.Stats.RerunRecoveries
 			row.SquashedCyc += res.Stats.SquashedCycles
-			if _, err := replay.Sequential(bt.Prog, res.Recording, cfg.Costs); err == nil {
+			if _, err := replay.Sequential(bt.Prog, res.Recording, cfg.Costs, cfg.Trace); err == nil {
 				row.ReplaysOK++
 			}
 		}
@@ -583,7 +583,7 @@ func SparseReplay(cfg Config) []SparseReplayRow {
 		res, bt := record(name, workers, workers, cfg)
 		for _, stride := range []int{1, 2, 4, 8, 1 << 20} {
 			sparse := res.ThinBoundaries(stride)
-			rep, err := replay.ParallelSparse(bt.Prog, res.Recording, sparse, workers, cfg.Costs)
+			rep, err := replay.ParallelSparse(bt.Prog, res.Recording, sparse, workers, cfg.Costs, cfg.Trace)
 			if err != nil {
 				panic(fmt.Sprintf("exp: sparse replay %s stride %d: %v", name, stride, err))
 			}

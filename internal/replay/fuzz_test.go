@@ -103,7 +103,7 @@ func TestQuickMutatedLogsNeverReplayWrong(t *testing.T) {
 		if !ok {
 			return true // nothing mutated; vacuous
 		}
-		rep, err := replay.Sequential(b.prog.prog.Prog, rec, nil)
+		rep, err := replay.Sequential(b.prog.prog.Prog, rec, nil, nil)
 		if err != nil {
 			return true // corruption detected: the desired common case
 		}

@@ -4,6 +4,14 @@
 // because epochs start from retained checkpoints, they can be replayed
 // concurrently on real host cores (epoch-parallel replay), which is how
 // DoublePlay makes replay as scalable as recording.
+//
+// This package owns replay scheduling and verification: the sequential,
+// epoch-parallel, and sparse segment-parallel strategies, the greedy
+// makespan model that prices the parallel ones, and the boundary-hash
+// checks that prove a replay reproduced the recording. Each entry point
+// accepts an optional trace.Sink and narrates its timeline as
+// "replay.epoch"/"replay.segment" spans with nested per-timeslice detail
+// (see docs/OBSERVABILITY.md).
 package replay
 
 import (
@@ -13,6 +21,7 @@ import (
 	"doubleplay/internal/dplog"
 	"doubleplay/internal/epoch"
 	"doubleplay/internal/sched"
+	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
 )
 
@@ -31,8 +40,10 @@ func epochCost(uniCycles int64, injected int, costs *vm.CostModel) int64 {
 }
 
 // runEpoch replays one epoch on machine m (already positioned at the
-// epoch's start state) and verifies its end hash.
-func runEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel) (int64, error) {
+// epoch's start state) and verifies its end hash. When buf is non-nil the
+// uniprocessor scheduler traces each followed timeslice into it with
+// epoch-local timestamps.
+func runEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel, buf *trace.Sink) (int64, error) {
 	inj := epoch.NewInjectOS(ep.Syscalls)
 	m.OS = inj
 	sigs := epoch.NewInjectSignals(ep.Signals)
@@ -40,6 +51,7 @@ func runEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel) (int64, er
 	uni := sched.NewUni(m)
 	uni.Follow = ep.Schedule
 	uni.Targets = ep.Targets
+	uni.Trace = buf
 	if err := uni.Run(); err != nil {
 		return 0, fmt.Errorf("replay: epoch %d: %w", ep.Index, err)
 	}
@@ -58,10 +70,16 @@ func runEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel) (int64, er
 
 // Sequential replays the recording epoch by epoch on one simulated CPU,
 // starting from program reset. It verifies every epoch boundary hash and
-// the final hash.
-func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel) (*Result, error) {
+// the final hash. A non-nil sink receives one "replay.epoch" span per
+// epoch with the followed timeslices nested inside.
+func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sink *trace.Sink) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
+	}
+	var pid int64
+	if sink.Enabled() {
+		pid = sink.AllocPid("replay " + rec.Program + " (sequential)")
+		sink.NameThread(pid, 0, "epochs")
 	}
 	m := vm.NewMachine(prog, nil, costs)
 	res := &Result{}
@@ -70,9 +88,19 @@ func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel) (*R
 			return nil, fmt.Errorf("replay: epoch %d: start state hash %016x != recorded %016x",
 				ep.Index, h, ep.StartHash)
 		}
-		c, err := runEpoch(m, ep, costs)
+		var buf *trace.Sink
+		if sink.Enabled() {
+			buf = trace.NewSink()
+		}
+		c, err := runEpoch(m, ep, costs, buf)
 		if err != nil {
 			return nil, err
+		}
+		if sink.Enabled() {
+			sink.Span("replay.epoch", res.Cycles, c, pid, 0, map[string]any{
+				"epoch": ep.Index, "slices": len(ep.Schedule), "syscalls": len(ep.Syscalls),
+			})
+			sink.Splice(buf, res.Cycles, pid, 0)
 		}
 		res.Cycles += c
 		res.Epochs++
@@ -87,8 +115,10 @@ func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel) (*R
 // Parallel replays every epoch concurrently from the retained epoch-start
 // checkpoints, using real host goroutines — the epochs are independent
 // machines sharing pages copy-on-write. The modelled wall time is the
-// makespan of packing epoch durations onto cpus cores.
-func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Boundary, cpus int, costs *vm.CostModel) (*Result, error) {
+// makespan of packing epoch durations onto cpus cores. A non-nil sink
+// receives one "replay.epoch" span per epoch at its packed position, on a
+// track per modelled core.
+func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Boundary, cpus int, costs *vm.CostModel, sink *trace.Sink) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -101,6 +131,7 @@ func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Bounda
 
 	durs := make([]int64, len(rec.Epochs))
 	errs := make([]error, len(rec.Epochs))
+	bufs := make([]*trace.Sink, len(rec.Epochs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cpus)
 	for i, ep := range rec.Epochs {
@@ -108,13 +139,16 @@ func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Bounda
 			return nil, fmt.Errorf("replay: epoch %d: checkpoint hash %016x != recorded start %016x",
 				ep.Index, boundaries[i].Hash, ep.StartHash)
 		}
+		if sink.Enabled() {
+			bufs[i] = trace.NewSink()
+		}
 		wg.Add(1)
 		go func(i int, ep *dplog.EpochLog) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			m := boundaries[i].CP.Restore(prog, nil, costs)
-			durs[i], errs[i] = runEpoch(m, ep, costs)
+			durs[i], errs[i] = runEpoch(m, ep, costs, bufs[i])
 		}(i, ep)
 	}
 	wg.Wait()
@@ -124,26 +158,49 @@ func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Bounda
 		}
 	}
 
-	return &Result{Cycles: makespan(durs, cpus), FinalHash: rec.FinalHash, Epochs: len(rec.Epochs)}, nil
+	slots, wall := pack(durs, cpus)
+	if sink.Enabled() {
+		pid := sink.AllocPid("replay " + rec.Program + " (epoch-parallel)")
+		for c := 0; c < cpus; c++ {
+			sink.NameThread(pid, int64(c), fmt.Sprintf("core %d", c))
+		}
+		for i, ep := range rec.Epochs {
+			s := slots[i]
+			sink.Span("replay.epoch", s.start, s.fin-s.start, pid, int64(s.core),
+				map[string]any{"epoch": ep.Index, "slices": len(ep.Schedule)})
+			sink.Splice(bufs[i], s.start, pid, int64(s.core))
+		}
+	}
+
+	return &Result{Cycles: wall, FinalHash: rec.FinalHash, Epochs: len(rec.Epochs)}, nil
 }
 
-// makespan packs durations greedily onto cpus cores in index order.
-func makespan(durs []int64, cpus int) int64 {
+// packSlot is one duration's placement in the greedy packing.
+type packSlot struct {
+	core       int
+	start, fin int64
+}
+
+// pack places durations greedily onto cpus cores in index order, returning
+// each placement and the makespan.
+func pack(durs []int64, cpus int) ([]packSlot, int64) {
 	free := make([]int64, cpus)
+	slots := make([]packSlot, len(durs))
 	var wall int64
-	for _, d := range durs {
+	for i, d := range durs {
 		c := 0
 		for j := 1; j < cpus; j++ {
 			if free[j] < free[c] {
 				c = j
 			}
 		}
+		slots[i] = packSlot{core: c, start: free[c], fin: free[c] + d}
 		free[c] += d
 		if free[c] > wall {
 			wall = free[c]
 		}
 	}
-	return wall
+	return slots, wall
 }
 
 // ParallelSparse replays from a thinned set of retained checkpoints:
@@ -154,8 +211,10 @@ func makespan(durs []int64, cpus int) int64 {
 //
 // The sparse slice must be ordered by Boundary.Index, start at epoch 0, and
 // its boundaries must be epoch boundaries of rec (core.Result.ThinBoundaries
-// produces a valid set).
-func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel) (*Result, error) {
+// produces a valid set). A non-nil sink receives one "replay.segment" span
+// per segment at its packed position, with the segment's "replay.epoch"
+// spans and timeslices nested inside.
+func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink *trace.Sink) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -193,14 +252,19 @@ func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boun
 
 	durs := make([]int64, len(segs))
 	errs := make([]error, len(segs))
+	bufs := make([]*trace.Sink, len(segs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cpus)
 	for i, sg := range segs {
+		if sink.Enabled() {
+			bufs[i] = trace.NewSink()
+		}
 		wg.Add(1)
 		go func(i int, sg segment) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			segbuf := bufs[i]
 			m := sg.start.CP.Restore(prog, nil, costs)
 			for _, ep := range sg.epochs {
 				if h := m.StateHash(); h != ep.StartHash {
@@ -208,10 +272,19 @@ func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boun
 						ep.Index, h, ep.StartHash)
 					return
 				}
-				c, err := runEpoch(m, ep, costs)
+				var epb *trace.Sink
+				if segbuf.Enabled() {
+					epb = trace.NewSink()
+				}
+				c, err := runEpoch(m, ep, costs, epb)
 				if err != nil {
 					errs[i] = err
 					return
+				}
+				if segbuf.Enabled() {
+					segbuf.Span("replay.epoch", durs[i], c, 0, 0,
+						map[string]any{"epoch": ep.Index, "slices": len(ep.Schedule)})
+					segbuf.Splice(epb, durs[i], 0, 0)
 				}
 				durs[i] += c
 			}
@@ -223,5 +296,19 @@ func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boun
 			return nil, err
 		}
 	}
-	return &Result{Cycles: makespan(durs, cpus), FinalHash: rec.FinalHash, Epochs: len(rec.Epochs)}, nil
+
+	slots, wall := pack(durs, cpus)
+	if sink.Enabled() {
+		pid := sink.AllocPid("replay " + rec.Program + " (sparse segments)")
+		for c := 0; c < cpus; c++ {
+			sink.NameThread(pid, int64(c), fmt.Sprintf("core %d", c))
+		}
+		for i, sg := range segs {
+			s := slots[i]
+			sink.Span("replay.segment", s.start, s.fin-s.start, pid, int64(s.core),
+				map[string]any{"start_epoch": sg.start.Index, "epochs": len(sg.epochs)})
+			sink.Splice(bufs[i], s.start, pid, int64(s.core))
+		}
+	}
+	return &Result{Cycles: wall, FinalHash: rec.FinalHash, Epochs: len(rec.Epochs)}, nil
 }

@@ -31,7 +31,7 @@ func recordWorkload(t *testing.T, name string, workers int) (*vm.Program, *core.
 
 func TestSequentialVerifiesEveryBoundary(t *testing.T) {
 	prog, res := recordWorkload(t, "kvdb", 2)
-	rep, err := replay.Sequential(prog, res.Recording, nil)
+	rep, err := replay.Sequential(prog, res.Recording, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,11 +45,11 @@ func TestSequentialVerifiesEveryBoundary(t *testing.T) {
 
 func TestParallelMatchesSequential(t *testing.T) {
 	prog, res := recordWorkload(t, "radix", 4)
-	seq, err := replay.Sequential(prog, res.Recording, nil)
+	seq, err := replay.Sequential(prog, res.Recording, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := replay.Parallel(prog, res.Recording, res.Boundaries, 4, nil)
+	par, err := replay.Parallel(prog, res.Recording, res.Boundaries, 4, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestCorruptedScheduleRejected(t *testing.T) {
 			break
 		}
 	}
-	if _, err := replay.Sequential(prog, rec, nil); err == nil {
+	if _, err := replay.Sequential(prog, rec, nil, nil); err == nil {
 		t.Fatal("corrupted schedule replayed cleanly")
 	}
 }
@@ -102,7 +102,7 @@ func TestCorruptedSyscallResultRejected(t *testing.T) {
 	if !found {
 		t.Skip("no syscall input data recorded")
 	}
-	if _, err := replay.Sequential(prog, rec, nil); err == nil {
+	if _, err := replay.Sequential(prog, rec, nil, nil); err == nil {
 		t.Fatal("corrupted input data replayed cleanly")
 	}
 }
@@ -110,7 +110,7 @@ func TestCorruptedSyscallResultRejected(t *testing.T) {
 func TestCorruptedFinalHashRejected(t *testing.T) {
 	prog, res := recordWorkload(t, "kvdb", 2)
 	res.Recording.FinalHash ^= 1
-	_, err := replay.Sequential(prog, res.Recording, nil)
+	_, err := replay.Sequential(prog, res.Recording, nil, nil)
 	if err == nil || !strings.Contains(err.Error(), "final hash") {
 		t.Fatalf("err = %v", err)
 	}
@@ -118,7 +118,7 @@ func TestCorruptedFinalHashRejected(t *testing.T) {
 
 func TestParallelBoundaryCountMismatch(t *testing.T) {
 	prog, res := recordWorkload(t, "kvdb", 2)
-	_, err := replay.Parallel(prog, res.Recording, res.Boundaries[:1], 2, nil)
+	_, err := replay.Parallel(prog, res.Recording, res.Boundaries[:1], 2, nil, nil)
 	if err == nil {
 		t.Fatal("boundary count mismatch accepted")
 	}
@@ -131,7 +131,7 @@ func TestReplayRoundTripsThroughCodec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := replay.Sequential(prog, rec, nil)
+	rep, err := replay.Sequential(prog, rec, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestReplayRoundTripsThroughCodec(t *testing.T) {
 func TestWrongProgramRejected(t *testing.T) {
 	_, res := recordWorkload(t, "kvdb", 2)
 	other := workloads.Get("fft").Build(workloads.Params{Workers: 2, Seed: 17})
-	if _, err := replay.Sequential(other.Prog, res.Recording, nil); err == nil {
+	if _, err := replay.Sequential(other.Prog, res.Recording, nil, nil); err == nil {
 		t.Fatal("recording replayed against the wrong program")
 	}
 	_ = simos.NewWorld // keep import for symmetry with other tests

@@ -2,6 +2,11 @@
 // DoublePlay composes: a discrete-event multiprocessor scheduler (the
 // thread-parallel execution) and a deterministic uniprocessor timeslicing
 // scheduler (the epoch-parallel execution and replay).
+//
+// Both schedulers expose an optional trace.Sink: Parallel emits one "run"
+// span per thread↔CPU binding and Uni one "slice" span per timeslice.
+// Tracing reads the schedulers' clocks but never advances them, so traced
+// and untraced runs retire identical schedules and cycle counts.
 package sched
 
 import (
@@ -10,6 +15,7 @@ import (
 	"math/rand"
 
 	"doubleplay/internal/dplog"
+	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
 )
 
@@ -35,6 +41,12 @@ type Parallel struct {
 	CPUs    int
 	Quantum int64
 
+	// Trace, when non-nil, receives one "run" span per thread↔CPU binding,
+	// homed on (TracePid, guest tid) with the CPU index in args — the
+	// thread-parallel occupancy timeline. Tracing never alters any clock.
+	Trace    *trace.Sink
+	TracePid int64
+
 	cpus     []pcpu
 	rng      *rand.Rand
 	scanFrom int // round-robin cursor for dispatch fairness
@@ -46,6 +58,7 @@ type pcpu struct {
 	clock  int64
 	tid    int // bound thread, or -1
 	sliceN int64
+	bindTs int64 // clock at bind time, for the "run" trace span
 }
 
 // NewParallel builds a scheduler for m over the given number of CPUs.
@@ -128,6 +141,7 @@ func (p *Parallel) dispatch(ci int) *vm.Thread {
 			p.scanFrom = (p.scanFrom + k + 1) % n
 			p.cpus[ci].tid = t.ID
 			p.cpus[ci].sliceN = 0
+			p.cpus[ci].bindTs = p.cpus[ci].clock
 			return t
 		}
 	}
@@ -137,6 +151,7 @@ func (p *Parallel) dispatch(ci int) *vm.Thread {
 		if t.Status == vm.BlockedSys && !p.boundElsewhere(t.ID) && p.sysPoll[t.ID] <= clock {
 			p.cpus[ci].tid = t.ID
 			p.cpus[ci].sliceN = 0
+			p.cpus[ci].bindTs = p.cpus[ci].clock
 			return t
 		}
 	}
@@ -145,6 +160,10 @@ func (p *Parallel) dispatch(ci int) *vm.Thread {
 
 // unbind releases CPU ci's thread.
 func (p *Parallel) unbind(ci int) {
+	if p.Trace.Enabled() && p.cpus[ci].tid >= 0 && p.cpus[ci].clock > p.cpus[ci].bindTs {
+		p.Trace.Span("run", p.cpus[ci].bindTs, p.cpus[ci].clock-p.cpus[ci].bindTs,
+			p.TracePid, int64(p.cpus[ci].tid), map[string]any{"cpu": ci})
+	}
 	p.cpus[ci].tid = -1
 	p.cpus[ci].sliceN = 0
 }

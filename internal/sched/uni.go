@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"doubleplay/internal/dplog"
+	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
 )
 
@@ -45,6 +46,15 @@ type Uni struct {
 	// LogSchedule enables appending timeslices to Log.
 	LogSchedule bool
 	Log         []dplog.Slice
+
+	// Trace, when non-nil, receives one "slice" span per executed
+	// timeslice, stamped with this scheduler's local Cycles clock and
+	// homed on (TracePid, TraceTid). Callers that know the run's global
+	// position splice a buffer instead (see trace.Sink.Splice). Tracing
+	// never alters Cycles.
+	Trace    *trace.Sink
+	TracePid int64
+	TraceTid int64
 
 	// Cycles is the simulated time consumed on this CPU, including
 	// context-switch and schedule-logging charges.
@@ -216,6 +226,7 @@ func (u *Uni) pollBlockedSys() bool {
 func (u *Uni) runSlice(t *vm.Thread, quantum int64) (uint64, error) {
 	u.Switches++
 	u.Cycles += u.M.Cost.TimesliceSwitch
+	sliceStart := u.Cycles
 	var retired uint64
 	for int64(retired) < quantum {
 		if !t.Status.Live() || t.Status.Blocked() {
@@ -234,6 +245,10 @@ func (u *Uni) runSlice(t *vm.Thread, quantum int64) (uint64, error) {
 		}
 		u.Cycles += res.Cost
 		retired++
+	}
+	if u.Trace.Enabled() && retired > 0 {
+		u.Trace.Span("slice", sliceStart, u.Cycles-sliceStart, u.TracePid, u.TraceTid,
+			map[string]any{"tid": t.ID, "retired": retired})
 	}
 	// A guest fault ends the thread like an exit; whether that is a guest
 	// bug (native/baseline runs) or a divergence (target runs, where the
@@ -262,6 +277,7 @@ func (u *Uni) runFollow() error {
 			return fmt.Errorf("%w: slice %d names unknown thread %d", ErrDiverged, i, s.Tid)
 		}
 		t := u.M.Threads[s.Tid]
+		sliceStart := u.Cycles
 		var retired uint64
 		for retired < s.N {
 			if !t.Status.Live() {
@@ -287,6 +303,10 @@ func (u *Uni) runFollow() error {
 		if retired != s.N {
 			return fmt.Errorf("%w: slice %d: thread %d retired %d, slice says %d",
 				ErrDiverged, i, s.Tid, retired, s.N)
+		}
+		if u.Trace.Enabled() {
+			u.Trace.Span("slice", sliceStart, u.Cycles-sliceStart, u.TracePid, u.TraceTid,
+				map[string]any{"tid": s.Tid, "retired": retired})
 		}
 		u.Switches++
 		u.Cycles += u.M.Cost.TimesliceSwitch

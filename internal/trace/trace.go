@@ -1,0 +1,237 @@
+// Package trace is the recording-observability layer: a low-overhead event
+// sink that the recorder, the epoch runner, the schedulers, and replay feed
+// with timestamped events (epoch spans, checkpoint operations, divergences,
+// log appends, pipeline-slot occupancy, replay segments), plus an
+// aggregating metrics registry of counters, gauges, and histograms.
+//
+// Timestamps are simulated cycles, never host time, so a trace is exactly
+// reproducible for a given workload, seed, and configuration — and
+// collecting one cannot perturb the cycle accounting the evaluation
+// reports. A nil *Sink is valid everywhere and disables collection: every
+// method is a nil-safe no-op, and hot paths guard argument construction
+// behind Enabled() so the disabled path allocates nothing.
+//
+// Traces export as Chrome trace_event JSON ([Sink.WriteJSON]) and load
+// directly into Perfetto (https://ui.perfetto.dev) or chrome://tracing; one
+// trace microsecond equals one simulated cycle. The full event schema is
+// documented in docs/OBSERVABILITY.md.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event phases, following the Chrome trace_event format.
+const (
+	PhaseComplete = 'X' // a span: Ts..Ts+Dur
+	PhaseInstant  = 'i' // a point in time
+	PhaseCounter  = 'C' // a sampled counter value
+	PhaseMeta     = 'M' // process/thread naming metadata
+)
+
+// Event is one trace record. Ts and Dur are simulated cycles. Pid and Tid
+// select the track: Pid groups related tracks into a named process (one per
+// recording or replay run), Tid is one horizontal track within it.
+type Event struct {
+	Name string
+	Ph   byte
+	Ts   int64
+	Dur  int64 // PhaseComplete only
+	Pid  int64
+	Tid  int64
+	Args map[string]any
+}
+
+// Sink collects events. The zero value is NOT ready to use; call NewSink.
+// A nil *Sink is the disabled sink: every method no-ops and Enabled
+// reports false. Sinks are safe for concurrent use.
+type Sink struct {
+	mu      sync.Mutex
+	events  []Event
+	nextPid int64
+}
+
+// NewSink returns an empty, enabled sink. NewSink is also how buffers for
+// [Sink.Splice] are made: a child sink accumulates events with local
+// timestamps, and Splice re-stamps them onto a parent track.
+func NewSink() *Sink { return &Sink{nextPid: 1} }
+
+// Enabled reports whether events are being collected. Hot paths must check
+// it before building argument maps, so the nil sink costs no allocation.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Emit appends one event verbatim.
+func (s *Sink) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Span emits a complete event covering [ts, ts+dur).
+func (s *Sink) Span(name string, ts, dur, pid, tid int64, args map[string]any) {
+	if s == nil {
+		return
+	}
+	s.Emit(Event{Name: name, Ph: PhaseComplete, Ts: ts, Dur: dur, Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant emits a point event at ts.
+func (s *Sink) Instant(name string, ts, pid, tid int64, args map[string]any) {
+	if s == nil {
+		return
+	}
+	s.Emit(Event{Name: name, Ph: PhaseInstant, Ts: ts, Pid: pid, Tid: tid, Args: args})
+}
+
+// Counter emits a sampled counter value; viewers render the series named
+// name as a step function over time.
+func (s *Sink) Counter(name string, ts, pid int64, value int64) {
+	if s == nil {
+		return
+	}
+	s.Emit(Event{Name: name, Ph: PhaseCounter, Ts: ts, Pid: pid, Args: map[string]any{"value": value}})
+}
+
+// AllocPid reserves a fresh process id and names its track group. Distinct
+// recordings or replays sharing one sink call AllocPid so their timelines
+// render as separate named processes.
+func (s *Sink) AllocPid(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	pid := s.nextPid
+	s.nextPid++
+	s.events = append(s.events, Event{
+		Name: "process_name", Ph: PhaseMeta, Pid: pid, Args: map[string]any{"name": name},
+	})
+	s.mu.Unlock()
+	return pid
+}
+
+// NameThread names one track within a process.
+func (s *Sink) NameThread(pid, tid int64, name string) {
+	if s == nil {
+		return
+	}
+	s.Emit(Event{Name: "thread_name", Ph: PhaseMeta, Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+}
+
+// Splice appends every event of child, shifting timestamps by shift cycles
+// and re-homing them onto (pid, tid). It is how epoch-local activity —
+// whose global position is only known once the pipeline places the epoch —
+// lands at its true simulated time: run the epoch against a child sink,
+// then splice at the pipeline-assigned start. Counter and meta events keep
+// their own pid/tid semantics and are shifted but not re-homed to the tid.
+func (s *Sink) Splice(child *Sink, shift, pid, tid int64) {
+	if s == nil || child == nil {
+		return
+	}
+	child.mu.Lock()
+	evs := make([]Event, len(child.events))
+	copy(evs, child.events)
+	child.mu.Unlock()
+	s.mu.Lock()
+	for _, ev := range evs {
+		ev.Ts += shift
+		ev.Pid = pid
+		if ev.Ph != PhaseCounter && ev.Ph != PhaseMeta {
+			ev.Tid = tid
+		}
+		s.events = append(s.events, ev)
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the number of collected events.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Events returns a snapshot of the collected events in emission order.
+func (s *Sink) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// jsonEvent is the wire form of one Chrome trace_event record.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// jsonTrace is the container object Perfetto and chrome://tracing load.
+type jsonTrace struct {
+	TraceEvents     []jsonEvent `json:"traceEvents"`
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the trace in Chrome trace_event JSON object format.
+// Event order is emission order; the format does not require sorting.
+func (s *Sink) WriteJSON(w io.Writer) error {
+	if s == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	s.mu.Lock()
+	evs := make([]jsonEvent, len(s.events))
+	for i, ev := range s.events {
+		je := jsonEvent{Name: ev.Name, Ph: string(ev.Ph), Ts: ev.Ts, Pid: ev.Pid, Tid: ev.Tid, Args: ev.Args}
+		if ev.Ph == PhaseComplete {
+			d := ev.Dur
+			je.Dur = &d
+		}
+		if ev.Ph == PhaseInstant {
+			je.S = "t" // thread-scoped instant
+		}
+		evs[i] = je
+	}
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(jsonTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// ParseJSON reads a trace written by WriteJSON back into events, preserving
+// order. It exists for tests and offline tooling; numeric args come back as
+// float64 per encoding/json.
+func ParseJSON(r io.Reader) ([]Event, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: parse: %w", err)
+	}
+	out := make([]Event, len(jt.TraceEvents))
+	for i, je := range jt.TraceEvents {
+		if len(je.Ph) != 1 {
+			return nil, fmt.Errorf("trace: event %d has invalid phase %q", i, je.Ph)
+		}
+		ev := Event{Name: je.Name, Ph: je.Ph[0], Ts: je.Ts, Pid: je.Pid, Tid: je.Tid, Args: je.Args}
+		if je.Dur != nil {
+			ev.Dur = *je.Dur
+		}
+		out[i] = ev
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilSinkIsSafeAndFree(t *testing.T) {
+	var s *Sink
+	if s.Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+	// Every method must be a no-op on nil.
+	s.Emit(Event{Name: "x"})
+	s.Span("a", 0, 1, 0, 0, nil)
+	s.Instant("b", 0, 0, 0, nil)
+	s.Counter("c", 0, 0, 1)
+	s.NameThread(0, 0, "t")
+	s.Splice(NewSink(), 0, 0, 0)
+	if s.AllocPid("p") != 0 || s.Len() != 0 || s.Events() != nil {
+		t.Fatal("nil sink leaked state")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if evs, err := ParseJSON(&buf); err != nil || len(evs) != 0 {
+		t.Fatalf("nil sink JSON: %v, %d events", err, len(evs))
+	}
+	// The disabled hot path must not allocate: this is the invariant that
+	// lets every scheduler call site run untraced at zero cost.
+	allocs := testing.AllocsPerRun(100, func() {
+		if s.Enabled() {
+			s.Span("slice", 0, 1, 0, 0, map[string]any{"tid": 1})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil sink allocates %.0f per op", allocs)
+	}
+}
+
+func TestJSONRoundTripPreservesOrderAndFields(t *testing.T) {
+	s := NewSink()
+	pid := s.AllocPid("record test")
+	if pid != 1 {
+		t.Fatalf("first pid = %d", pid)
+	}
+	s.NameThread(pid, 0, "epochs")
+	s.Span("epoch", 100, 50, pid, 0, map[string]any{"epoch": 0})
+	s.Instant("divergence", 125, pid, 0, map[string]any{"kind": "state"})
+	s.Counter("log.syscalls", 150, pid, 7)
+	s.Span("epoch", 150, 60, pid, 0, map[string]any{"epoch": 1})
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.String()
+	got, err := ParseJSON(strings.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip: %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].Ph != want[i].Ph ||
+			got[i].Ts != want[i].Ts || got[i].Dur != want[i].Dur ||
+			got[i].Pid != want[i].Pid || got[i].Tid != want[i].Tid {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Span durations and instant scope must survive the wire format.
+	if got[2].Dur != 50 {
+		t.Fatalf("span dur = %d", got[2].Dur)
+	}
+	if !strings.Contains(wire, `"s":"t"`) {
+		t.Fatal("instant lost its thread scope")
+	}
+	if !strings.Contains(wire, `"displayTimeUnit":"ms"`) {
+		t.Fatal("missing displayTimeUnit")
+	}
+}
+
+func TestSpliceShiftsAndRehomes(t *testing.T) {
+	child := NewSink()
+	child.Span("slice", 10, 5, 0, 0, map[string]any{"tid": 2})
+	child.Instant("signal", 12, 0, 0, nil)
+	child.Counter("n", 14, 0, 3)
+
+	parent := NewSink()
+	pid := parent.AllocPid("p")
+	parent.Splice(child, 1000, pid, 7)
+
+	evs := parent.Events()[1:] // skip the process_name meta
+	if evs[0].Ts != 1010 || evs[0].Pid != pid || evs[0].Tid != 7 {
+		t.Fatalf("spliced span: %+v", evs[0])
+	}
+	if evs[1].Ts != 1012 || evs[1].Tid != 7 {
+		t.Fatalf("spliced instant: %+v", evs[1])
+	}
+	// Counters shift in time but keep their own track semantics.
+	if evs[2].Ts != 1014 || evs[2].Tid != 0 {
+		t.Fatalf("spliced counter: %+v", evs[2])
+	}
+}
+
+func TestRegistryAggregates(t *testing.T) {
+	r := NewRegistry()
+	wl := Label("workload", "pbzip")
+	r.Add("record.epochs", 40, wl)
+	r.Add("record.epochs", 2, wl)
+	r.Set("record.completion_cycles", 1150271, wl)
+	for _, v := range []int64{100, 200, 400, 800} {
+		r.Observe("epoch.cycles", v, wl)
+	}
+	if got := r.Counter("record.epochs", wl); got != 42 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := r.Gauge("record.completion_cycles", wl); got != 1150271 {
+		t.Fatalf("gauge = %g", got)
+	}
+	h := r.Hist("epoch.cycles", wl)
+	if h == nil || h.Count != 4 || h.Sum != 1500 || h.Min != 100 || h.Max != 800 {
+		t.Fatalf("hist = %+v", h)
+	}
+	if h.Mean() != 375 {
+		t.Fatalf("mean = %g", h.Mean())
+	}
+	if q := h.Quantile(1); q != 800 {
+		t.Fatalf("p100 = %d", q)
+	}
+	if q := h.Quantile(0); q < 100 || q > 127 {
+		t.Fatalf("p0 = %d, want bucket bound of 100", q)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"counter  record.epochs{workload=pbzip}",
+		"gauge    record.completion_cycles{workload=pbzip}",
+		"hist     epoch.cycles{workload=pbzip}",
+		"count=4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Add("a", 1)
+	r.Set("b", 2)
+	r.Observe("c", 3)
+	if r.Counter("a") != 0 || r.Gauge("b") != 0 || r.Hist("c") != nil {
+		t.Fatal("nil registry leaked state")
+	}
+	r.Render(&bytes.Buffer{})
+}

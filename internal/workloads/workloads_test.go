@@ -66,14 +66,14 @@ func TestRecordReplayFidelity(t *testing.T) {
 					t.Fatal(err)
 				}
 
-				seq, err := replay.Sequential(bt.Prog, res.Recording, nil)
+				seq, err := replay.Sequential(bt.Prog, res.Recording, nil, nil)
 				if err != nil {
 					t.Fatalf("sequential replay: %v", err)
 				}
 				if seq.FinalHash != res.FinalHash {
 					t.Fatal("sequential replay final hash mismatch")
 				}
-				if _, err := replay.Parallel(bt.Prog, res.Recording, res.Boundaries, workers, nil); err != nil {
+				if _, err := replay.Parallel(bt.Prog, res.Recording, res.Boundaries, workers, nil, nil); err != nil {
 					t.Fatalf("parallel replay: %v", err)
 				}
 			})

@@ -23,4 +23,7 @@ go test ./...
 echo "== dpvet (static screen, all builtin workloads)"
 go run ./cmd/dpvet -q
 
+echo "== benchmark guard (golden cycle counts, nil-sink and traced)"
+go test ./internal/core/ -run 'TestGoldenCyclesUnchanged|TestTracingDoesNotPerturbCycles' -count=1
+
 echo "verify.sh: all checks passed"
