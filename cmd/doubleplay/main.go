@@ -5,6 +5,7 @@
 //
 //	doubleplay list
 //	doubleplay record  -w pbzip -workers 4 -spares 4 -o pbzip.dplog
+//	doubleplay record  -w pbzip -trace t.json -listen :9090  # streamed trace + live /metrics
 //	doubleplay replay  -w pbzip -workers 4 -log pbzip.dplog [-parallel]
 //	doubleplay verify  -w pbzip -workers 4          # record + both replays in memory
 //	doubleplay inspect -log pbzip.dplog
@@ -50,34 +51,55 @@ func main() {
 		stride   = fs.Int("stride", 0, "also verify sparse segment-parallel replay with this checkpoint stride")
 		detect   = fs.Bool("detect-races", false, "run the happens-before detector during recording")
 		growth   = fs.Float64("growth", 1, "adaptive epoch growth factor (>1 enables)")
-		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON timeline to this file (record/verify/replay)")
+		traceOut = fs.String("trace", "", "stream a Chrome trace_event JSON timeline to this file (record/verify/replay)")
+		traceWin = fs.Int("trace-window", 0, "streaming reorder window in events (0 = default)")
 		metrics  = fs.Bool("metrics", false, "print the metrics registry after the run (record/verify)")
+		promOut  = fs.String("prom", "", "write the metrics registry in Prometheus text format to this file (record/verify)")
+		listen   = fs.String("listen", "", "serve /metrics and /healthz on this address while the run executes")
 	)
 	fs.Parse(args)
 	if *spares == 0 {
 		*spares = *workers
 	}
-	var sink *trace.Sink
+	// The trace streams to disk as the run executes, holding only a bounded
+	// reorder window in memory; Close finishes the JSON document.
+	var sink trace.Recorder
+	var stream *trace.StreamSink
 	if *traceOut != "" {
-		sink = trace.NewSink()
+		f, err := os.Create(*traceOut)
+		check(err)
+		stream = trace.NewStreamSink(f, *traceWin)
+		sink = stream
+		defer f.Close()
 	}
 	var reg *trace.Registry
-	if *metrics {
+	if *metrics || *promOut != "" || *listen != "" {
 		reg = trace.NewRegistry()
+	}
+	if *listen != "" {
+		srv, err := trace.ServeMetrics(*listen, reg)
+		check(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "doubleplay: serving /metrics and /healthz on %s\n", srv.Addr)
 	}
 	// Written at the end of record/verify/replay when -trace was given.
 	flushTrace := func() {
-		if sink == nil {
+		if stream == nil {
 			return
 		}
-		f, err := os.Create(*traceOut)
-		check(err)
-		check(sink.WriteJSON(f))
-		check(f.Close())
-		fmt.Printf("trace: %d events -> %s (open with https://ui.perfetto.dev)\n", sink.Len(), *traceOut)
+		check(stream.Close())
+		fmt.Printf("trace: %d events streamed -> %s (max %d buffered; open with https://ui.perfetto.dev)\n",
+			stream.Written(), *traceOut, stream.MaxBuffered())
 	}
 	flushMetrics := func() {
-		if reg == nil {
+		if *promOut != "" {
+			f, err := os.Create(*promOut)
+			check(err)
+			check(reg.WritePrometheus(f))
+			check(f.Close())
+			fmt.Printf("prometheus metrics -> %s\n", *promOut)
+		}
+		if !*metrics {
 			return
 		}
 		fmt.Println("metrics:")
@@ -207,7 +229,7 @@ func mustBuild(name string, workers, scale int, seed int64) *workloads.Built {
 	return wl.Build(workloads.Params{Workers: workers, Scale: scale, Seed: seed})
 }
 
-func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, growth float64, detect bool, sink *trace.Sink, reg *trace.Registry) *core.Result {
+func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, growth float64, detect bool, sink trace.Recorder, reg *trace.Registry) *core.Result {
 	res, err := core.Record(bt.Prog, bt.World, core.Options{
 		Workers:     workers,
 		RecordCPUs:  workers,

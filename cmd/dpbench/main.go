@@ -8,8 +8,10 @@
 //	dpbench -exp all
 //	dpbench -exp overhead2          # F1: overhead with spare cores, 2 threads
 //	dpbench -exp overhead4 -seed 7  # F2 with a different seed
-//	dpbench -exp overhead2 -trace out.json   # timeline of every run, Perfetto-viewable
+//	dpbench -exp overhead2 -trace out.json   # timeline of every run, streamed, Perfetto-viewable
 //	dpbench -exp overhead2 -metrics          # aggregate counters after the tables
+//	dpbench -exp all -listen :9090           # live /metrics + /healthz while running
+//	dpbench -exp all -prom metrics.prom      # dump Prometheus text format at exit
 //	dpbench -list                   # show available experiments
 package main
 
@@ -29,8 +31,11 @@ func main() {
 		scale     = flag.Int("scale", 1, "problem size multiplier")
 		seeds     = flag.Int("seeds", 12, "seed count for the divergence experiment")
 		list      = flag.Bool("list", false, "list experiments and exit")
-		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every run to this file")
+		traceOut  = flag.String("trace", "", "stream a Chrome trace_event JSON timeline of every run to this file")
+		traceWin  = flag.Int("trace-window", 0, "streaming reorder window in events (0 = default)")
 		metricsOn = flag.Bool("metrics", false, "print the aggregate metrics registry after the experiments")
+		promOut   = flag.String("prom", "", "write the metrics registry in Prometheus text format to this file")
+		listen    = flag.String("listen", "", "serve /metrics and /healthz on this address while experiments run")
 	)
 	flag.Parse()
 
@@ -78,11 +83,28 @@ func main() {
 	}
 
 	cfg := exp.Config{Seed: *seed, Scale: *scale}
+	var stream *trace.StreamSink
 	if *traceOut != "" {
-		cfg.Trace = trace.NewSink()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		stream = trace.NewStreamSink(f, *traceWin)
+		cfg.Trace = stream
 	}
-	if *metricsOn {
+	if *metricsOn || *promOut != "" || *listen != "" {
 		cfg.Metrics = trace.NewRegistry()
+	}
+	if *listen != "" {
+		srv, err := trace.ServeMetrics(*listen, cfg.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dpbench: serving /metrics and /healthz on %s\n", srv.Addr)
 	}
 	ran := false
 	for _, r := range runners {
@@ -95,24 +117,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dpbench: unknown experiment %q (try -list)\n", *expName)
 		os.Exit(2)
 	}
-	if cfg.Trace != nil {
-		f, err := os.Create(*traceOut)
+	if stream != nil {
+		if err := stream.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %d events streamed -> %s (max %d buffered; open with https://ui.perfetto.dev)\n",
+			stream.Written(), *traceOut, stream.MaxBuffered())
+	}
+	if *promOut != "" {
+		f, err := os.Create(*promOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := cfg.Trace.WriteJSON(f); err == nil {
+		if err := cfg.Metrics.WritePrometheus(f); err == nil {
 			err = f.Close()
 		} else {
 			f.Close()
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dpbench: writing trace: %v\n", err)
+			fmt.Fprintf(os.Stderr, "dpbench: writing prometheus metrics: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\ntrace: %d events -> %s (open with https://ui.perfetto.dev)\n", cfg.Trace.Len(), *traceOut)
+		fmt.Printf("prometheus metrics -> %s\n", *promOut)
 	}
-	if cfg.Metrics != nil {
+	if *metricsOn {
 		fmt.Println("\nmetrics")
 		fmt.Println("=======")
 		cfg.Metrics.Render(os.Stdout)

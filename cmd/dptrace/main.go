@@ -1,0 +1,87 @@
+// Command dptrace analyzes Chrome trace_event JSON timelines written by the
+// recorder (dpbench -trace, doubleplay record -trace) and lints Prometheus
+// text-format metric dumps (dpbench -prom).
+//
+// Usage:
+//
+//	dptrace stats trace.json           # per-track span/cycle summary
+//	dptrace diff a.json b.json         # align two runs by epoch, report deltas
+//	dptrace promlint metrics.prom      # check Prometheus text format
+//
+// diff exits 0 when the timelines agree, 3 when they diverge (the first
+// divergent epoch and per-epoch cycle deltas are printed either way).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"doubleplay/internal/dptrace"
+	"doubleplay/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  dptrace stats <trace.json>
+  dptrace diff <a.json> <b.json>
+  dptrace promlint <metrics.prom>
+`)
+	os.Exit(2)
+}
+
+func parseTrace(path string) []trace.Event {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dptrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	evs, err := trace.ParseJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dptrace: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return evs
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "stats":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		dptrace.Stats(parseTrace(os.Args[2])).Render(os.Stdout)
+	case "diff":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		rep := dptrace.Diff(os.Args[2], parseTrace(os.Args[2]), os.Args[3], parseTrace(os.Args[3]))
+		rep.Render(os.Stdout)
+		if rep.FirstDivergent >= 0 {
+			os.Exit(3)
+		}
+	case "promlint":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		data, err := os.ReadFile(os.Args[2])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dptrace: %v\n", err)
+			os.Exit(1)
+		}
+		problems := dptrace.Promlint(string(data))
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		if len(problems) > 0 {
+			fmt.Printf("%d problem(s)\n", len(problems))
+			os.Exit(1)
+		}
+		fmt.Println("ok")
+	default:
+		usage()
+	}
+}

@@ -103,6 +103,20 @@ type TraceSink = trace.Sink
 // NewTraceSink returns an empty, enabled trace sink.
 func NewTraceSink() *TraceSink { return trace.NewSink() }
 
+// TraceRecorder is the event-collection interface shared by the buffered
+// [TraceSink] and the incremental [StreamSink]; everything traced accepts
+// either.
+type TraceRecorder = trace.Recorder
+
+// StreamSink writes trace events to an io.Writer incrementally with a
+// bounded in-memory reorder window instead of buffering the whole run;
+// see trace.NewStreamSink. Close it to finish the JSON document.
+type StreamSink = trace.StreamSink
+
+// NewStreamSink returns a streaming trace sink over w. A window of 0
+// selects trace.DefaultStreamWindow.
+func NewStreamSink(w io.Writer, window int) *StreamSink { return trace.NewStreamSink(w, window) }
+
 // MetricsRegistry aggregates counters, gauges, and latency histograms
 // across recordings; set RecordOptions.Metrics and print with Render.
 type MetricsRegistry = trace.Registry
@@ -163,13 +177,13 @@ func ReplayParallelSparse(prog *Program, rec *Recording, sparse []*Boundary, cpu
 // ReplaySequentialTraced is ReplaySequential with a timeline sink: the
 // replay's epochs and timeslices are appended to sink as "replay.epoch"
 // spans. A nil sink makes it identical to ReplaySequential.
-func ReplaySequentialTraced(prog *Program, rec *Recording, sink *TraceSink) (*ReplayResult, error) {
+func ReplaySequentialTraced(prog *Program, rec *Recording, sink TraceRecorder) (*ReplayResult, error) {
 	return replay.Sequential(prog, rec, nil, sink)
 }
 
 // ReplayParallelTraced is ReplayParallel with a timeline sink: each epoch
 // appears at its packed position on a per-core track.
-func ReplayParallelTraced(prog *Program, rec *Recording, boundaries []*Boundary, cpus int, sink *TraceSink) (*ReplayResult, error) {
+func ReplayParallelTraced(prog *Program, rec *Recording, boundaries []*Boundary, cpus int, sink TraceRecorder) (*ReplayResult, error) {
 	return replay.Parallel(prog, rec, boundaries, cpus, nil, sink)
 }
 

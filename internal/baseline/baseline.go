@@ -12,9 +12,12 @@
 package baseline
 
 import (
+	"fmt"
+
 	"doubleplay/internal/dplog"
 	"doubleplay/internal/sched"
 	"doubleplay/internal/simos"
+	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
 )
 
@@ -51,9 +54,20 @@ type CrewResult struct {
 // RunCREW executes prog thread-parallel on cpus cores while logging every
 // CREW page-ownership transition, returning the overhead and log size a
 // shared-memory-order recorder would pay for this execution.
-func RunCREW(prog *vm.Program, world *simos.World, cpus int, seed int64, costs *vm.CostModel) (*CrewResult, error) {
+//
+// tr, when enabled, receives the baseline timeline: one "baseline.crew.run"
+// span per thread-CPU binding, a "crew.fault" instant and a
+// "crew.transitions" counter sample per logged ownership transition, and a
+// closing "baseline.crew.done" instant. Tracing only reads the simulated
+// clocks; traced and untraced runs produce bit-identical results.
+func RunCREW(prog *vm.Program, world *simos.World, cpus int, seed int64, costs *vm.CostModel, tr trace.Recorder) (*CrewResult, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
+	}
+	traced := trace.Enabled(tr)
+	var pid int64
+	if traced {
+		pid = tr.AllocPid(fmt.Sprintf("baseline crew %s cpus=%d", prog.Name, cpus))
 	}
 	// Like any replay system, CREW must also log external inputs.
 	ros := &uniRecordOS{inner: simos.NewOS(world)}
@@ -67,9 +81,11 @@ func RunCREW(prog *vm.Program, world *simos.World, cpus int, seed int64, costs *
 		// Honest size estimate: varint page delta (~3B), tid (1B), mode+seq
 		// delta (~2B).
 		logBytes += 6
-		_ = page
-		_ = tid
-		_ = write
+		if traced {
+			tr.Instant("crew.fault", m.Now, pid, int64(tid),
+				map[string]any{"page": int64(page), "write": write})
+			tr.Counter("crew.transitions", m.Now, pid, transitions)
+		}
 	}
 
 	access := func(tid int, addr vm.Word, write bool) {
@@ -117,8 +133,20 @@ func RunCREW(prog *vm.Program, world *simos.World, cpus int, seed int64, costs *
 	}
 
 	par := sched.NewParallel(m, cpus, seed)
+	if traced {
+		par.Trace = tr
+		par.TracePid = pid
+		par.TraceSpan = "baseline.crew.run"
+	}
 	if err := par.Run(); err != nil {
 		return nil, err
+	}
+	if traced {
+		for _, t := range m.Threads {
+			tr.NameThread(pid, int64(t.ID), fmt.Sprintf("thread %d", t.ID))
+		}
+		tr.Instant("baseline.crew.done", par.WallTime(), pid, 0,
+			map[string]any{"transitions": transitions, "retired": par.Retired()})
 	}
 	inputBytes := (&dplog.Recording{Epochs: []*dplog.EpochLog{{Syscalls: ros.log}}}).ReplaySize()
 	return &CrewResult{
@@ -161,9 +189,20 @@ func (r *uniRecordOS) Syscall(m *vm.Machine, t *vm.Thread, num vm.Word, args [6]
 // RunUniprocessor records prog with classic single-CPU timeslicing for the
 // whole execution — the paper's "what everyone did before multiprocessors"
 // baseline. Its log is one giant epoch.
-func RunUniprocessor(prog *vm.Program, world *simos.World, costs *vm.CostModel) (*UniResult, error) {
+//
+// tr, when enabled, receives one "baseline.uni.slice" span per executed
+// timeslice on a single "cpu0" track plus a closing "baseline.uni.done"
+// instant. Tracing only reads the scheduler clock; traced and untraced runs
+// produce bit-identical results.
+func RunUniprocessor(prog *vm.Program, world *simos.World, costs *vm.CostModel, tr trace.Recorder) (*UniResult, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
+	}
+	traced := trace.Enabled(tr)
+	var pid int64
+	if traced {
+		pid = tr.AllocPid("baseline uni " + prog.Name)
+		tr.NameThread(pid, 0, "cpu0")
 	}
 	ros := &uniRecordOS{inner: simos.NewOS(world)}
 	m := vm.NewMachine(prog, ros, costs)
@@ -177,8 +216,17 @@ func RunUniprocessor(prog *vm.Program, world *simos.World, costs *vm.CostModel) 
 	}
 	uni := sched.NewUni(m)
 	uni.LogSchedule = true
+	if traced {
+		uni.Trace = tr
+		uni.TracePid = pid
+		uni.TraceSpan = "baseline.uni.slice"
+	}
 	if err := uni.Run(); err != nil {
 		return nil, err
+	}
+	if traced {
+		tr.Instant("baseline.uni.done", uni.Cycles, pid, 0,
+			map[string]any{"slices": len(uni.Log), "syscalls": len(ros.log)})
 	}
 
 	var total uint64

@@ -21,12 +21,12 @@ func TestCrewCountsSharing(t *testing.T) {
 	// ocean shares grid pages across workers heavily; its transition count
 	// must dwarf aget's, whose workers touch disjoint ranges.
 	bt := build(t, "ocean", 4)
-	ocean, err := baseline.RunCREW(bt.Prog, bt.World, 4, 23, nil)
+	ocean, err := baseline.RunCREW(bt.Prog, bt.World, 4, 23, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bt = build(t, "aget", 4)
-	aget, err := baseline.RunCREW(bt.Prog, bt.World, 4, 23, nil)
+	aget, err := baseline.RunCREW(bt.Prog, bt.World, 4, 23, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestCrewCountsSharing(t *testing.T) {
 func TestCrewDoesNotPerturbExecution(t *testing.T) {
 	// CREW instrumentation observes; the guest result must be unchanged.
 	bt := build(t, "lu", 2)
-	res, err := baseline.RunCREW(bt.Prog, bt.World, 2, 23, nil)
+	res, err := baseline.RunCREW(bt.Prog, bt.World, 2, 23, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestUniprocessorSlowdownAndDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	uni, err := baseline.RunUniprocessor(bt.Prog, bt.World, nil)
+	uni, err := baseline.RunUniprocessor(bt.Prog, bt.World, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestUniprocessorSlowdownAndDeterminism(t *testing.T) {
 	}
 
 	// Deterministic: a second run produces the identical final state.
-	uni2, err := baseline.RunUniprocessor(bt.Prog, build(t, "fft", 4).World, nil)
+	uni2, err := baseline.RunUniprocessor(bt.Prog, build(t, "fft", 4).World, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +93,11 @@ func TestUniprocessorSlowdownAndDeterminism(t *testing.T) {
 
 func TestUniprocessorLogSmallerThanCrewOnSharingHeavy(t *testing.T) {
 	bt := build(t, "radix", 4)
-	crew, err := baseline.RunCREW(bt.Prog, bt.World, 4, 23, nil)
+	crew, err := baseline.RunCREW(bt.Prog, bt.World, 4, 23, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	uni, err := baseline.RunUniprocessor(build(t, "radix", 4).Prog, build(t, "radix", 4).World, nil)
+	uni, err := baseline.RunUniprocessor(build(t, "radix", 4).Prog, build(t, "radix", 4).World, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -84,13 +84,15 @@ type Options struct {
 	// MaxEpochs bounds the recording as a safety net.
 	MaxEpochs int
 
-	// Trace, when non-nil, receives the recording's event timeline:
+	// Trace, when set, receives the recording's event timeline:
 	// epoch/verify/commit spans, checkpoint create/restore, divergences and
 	// recoveries, per-append syscall/sync/signal instants, and pipeline
-	// slot occupancy. Tracing is observational only — it never changes any
-	// simulated clock, so all Stats are bit-identical with and without it.
-	// docs/OBSERVABILITY.md documents every event.
-	Trace *trace.Sink
+	// slot occupancy. Both the buffered trace.Sink and the incremental
+	// trace.StreamSink satisfy the interface. Tracing is observational
+	// only — it never changes any simulated clock, so all Stats are
+	// bit-identical with and without it. docs/OBSERVABILITY.md documents
+	// every event.
+	Trace trace.Recorder
 
 	// Metrics, when non-nil, aggregates counters, gauges, and histograms
 	// about the recording, labelled by workload (and epoch for per-epoch
@@ -218,7 +220,7 @@ func (r *Result) ThinBoundaries(stride int) []*epoch.Boundary {
 type recordOS struct {
 	inner vm.SyscallHandler
 	cur   *[]dplog.SyscallRecord
-	tr    *trace.Sink
+	tr    trace.Recorder
 	trPid int64
 }
 
@@ -228,7 +230,7 @@ func (r *recordOS) Syscall(m *vm.Machine, t *vm.Thread, num vm.Word, args [6]vm.
 		*r.cur = append(*r.cur, dplog.SyscallRecord{
 			Tid: t.ID, Num: num, Args: args, Ret: res.Ret, Writes: res.Writes,
 		})
-		if r.tr.Enabled() {
+		if trace.Enabled(r.tr) {
 			r.tr.Instant("syscall", m.Now, r.trPid, int64(t.ID), map[string]any{"num": num})
 		}
 	}
@@ -335,7 +337,13 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 	opt = opt.withDefaults()
 	costs := opt.Costs
 
+	// Normalize the recorder so every tr.Enabled() below is safe: a nil
+	// interface becomes the canonical disabled sink (a typed-nil *Sink,
+	// whose methods are nil-safe no-ops).
 	tr := opt.Trace
+	if tr == nil {
+		tr = (*trace.Sink)(nil)
+	}
 	reg := opt.Metrics
 	var wl string // workload label for metrics
 	if reg != nil {
@@ -626,7 +634,7 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			reg.Observe("epoch.syncops", int64(len(ep.SyncOrder)), wl)
 			reg.Observe("checkpoint.pages", mapped, wl)
 			reg.Add("record.cow_pages", cow, wl)
-			reg.Set("epoch.cycles", float64(dur), wl, trace.Label("epoch", i))
+			reg.Set("epoch.duration_cycles", float64(dur), wl, trace.Label("epoch", i))
 		}
 	}
 
@@ -682,8 +690,8 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 // the epoch-parallel run's buffered timeslices at the span's start. The
 // splice is skipped in the utilized configuration (slot -1), whose epoch
 // work is smeared across the record CPUs rather than run contiguously.
-func traceVerify(tr *trace.Sink, pidRec int64, pm placement, epbuf *trace.Sink, ep int, dur int64, verified bool) {
-	if !tr.Enabled() {
+func traceVerify(tr trace.Recorder, pidRec int64, pm placement, epbuf *trace.Sink, ep int, dur int64, verified bool) {
+	if !trace.Enabled(tr) {
 		return
 	}
 	tid := slotTid(pm.slot)

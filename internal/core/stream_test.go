@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"doubleplay/internal/trace"
+	"doubleplay/internal/workloads"
+)
+
+// canonicalize renders parsed events as sorted strings for multiset
+// comparison (arg numerics normalized to their JSON float64 form).
+func canonicalize(evs []trace.Event) []string {
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		keys := make([]string, 0, len(ev.Args))
+		for k := range ev.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s|%c|%d|%d|%d|%d", ev.Name, ev.Ph, ev.Ts, ev.Dur, ev.Pid, ev.Tid)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "|%s=%v", k, ev.Args[k])
+		}
+		out[i] = b.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func recordStreamed(t *testing.T, g goldenRun, window int) (*Result, []trace.Event, *trace.StreamSink) {
+	t.Helper()
+	wl := workloads.Get(g.name)
+	if wl == nil {
+		t.Fatalf("unknown workload %s", g.name)
+	}
+	bt := wl.Build(workloads.Params{Workers: g.workers, Scale: 1, Seed: 11})
+	var out bytes.Buffer
+	stream := trace.NewStreamSink(&out, window)
+	res, err := Record(bt.Prog, bt.World, Options{
+		Workers: g.workers, RecordCPUs: g.workers, SpareCPUs: g.workers,
+		Seed: 11, Trace: stream,
+	})
+	if err != nil {
+		t.Fatalf("record %s/%d: %v", g.name, g.workers, err)
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatalf("close stream: %v", err)
+	}
+	evs, err := trace.ParseJSON(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("streamed trace does not parse: %v", err)
+	}
+	return res, evs, stream
+}
+
+// TestStreamedRecordingMatchesBuffered is the tentpole acceptance test:
+// recording through a StreamSink with a small reorder window (a) keeps the
+// live buffer within the window, (b) leaves the recording's Stats
+// bit-identical to a buffered-sink run, and (c) streams a file that parses
+// into exactly the event multiset the buffered Sink collected.
+func TestStreamedRecordingMatchesBuffered(t *testing.T) {
+	const window = 64
+	for _, g := range []goldenRun{{"pbzip", 2, 1150271, 40}, {"racey", 2, 212463, 3}} {
+		sink := trace.NewSink()
+		bufRes := goldenRecord(t, g, sink, nil)
+		strRes, streamed, stream := recordStreamed(t, g, window)
+
+		if got := stream.MaxBuffered(); got > window {
+			t.Errorf("%s/%d: live buffer reached %d events, window %d", g.name, g.workers, got, window)
+		}
+		if bufRes.Stats != strRes.Stats {
+			t.Errorf("%s/%d: streamed recording perturbed Stats:\nbuffered %+v\nstreamed %+v",
+				g.name, g.workers, bufRes.Stats, strRes.Stats)
+		}
+		if stream.Written() != sink.Len() {
+			t.Errorf("%s/%d: streamed %d events, buffered %d", g.name, g.workers, stream.Written(), sink.Len())
+		}
+
+		// Normalize the buffered side through the same JSON round trip.
+		var buf bytes.Buffer
+		if err := sink.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		buffered, err := trace.ParseJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := canonicalize(streamed), canonicalize(buffered)
+		if len(got) != len(want) {
+			t.Fatalf("%s/%d: %d streamed vs %d buffered events", g.name, g.workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s/%d: event multiset diverges:\n  stream: %s\n  buffer: %s",
+					g.name, g.workers, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMetricsScrapeDuringRecording serves the registry over HTTP and
+// scrapes it concurrently while recordings run, checking the exporter is
+// safe against a live registry and always yields parseable output.
+func TestMetricsScrapeDuringRecording(t *testing.T) {
+	reg := trace.NewRegistry()
+	srv, err := trace.ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var stop atomic.Bool
+	scrapes := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for !stop.Load() {
+			resp, err := http.Get("http://" + srv.Addr + "/metrics")
+			if err != nil {
+				firstErr = err
+				break
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				firstErr = err
+				break
+			}
+			if resp.StatusCode != http.StatusOK {
+				firstErr = fmt.Errorf("scrape status %d", resp.StatusCode)
+				break
+			}
+			_ = body
+		}
+		scrapes <- firstErr
+	}()
+
+	for _, g := range []goldenRun{{"kvdb", 2, 394579, 14}, {"racey", 2, 212463, 3}} {
+		res := goldenRecord(t, g, nil, reg)
+		if res.Stats.CompletionCycles != g.cycles {
+			t.Errorf("%s/%d: cycles %d, want %d (scraping must not perturb recording)",
+				g.name, g.workers, res.Stats.CompletionCycles, g.cycles)
+		}
+	}
+	stop.Store(true)
+	if err := <-scrapes; err != nil {
+		t.Fatalf("concurrent scrape failed: %v", err)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "doubleplay_record_epochs") {
+		t.Fatalf("final scrape missing epoch counters:\n%.500s", body)
+	}
+}

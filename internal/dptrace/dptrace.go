@@ -1,0 +1,426 @@
+// Package dptrace analyzes traces written by the trace package (buffered or
+// streamed): per-track summaries, epoch-aligned diffing of two runs, and a
+// minimal linter for the Prometheus text exposition format. It backs the
+// dptrace command.
+package dptrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"doubleplay/internal/trace"
+)
+
+// argInt extracts an integer-valued arg, tolerating the float64 that
+// encoding/json produces for every JSON number.
+func argInt(args map[string]any, key string) (int64, bool) {
+	v, ok := args[key]
+	if !ok {
+		return 0, false
+	}
+	switch n := v.(type) {
+	case float64:
+		return int64(n), true
+	case int64:
+		return n, true
+	case int:
+		return int64(n), true
+	case uint64:
+		return int64(n), true
+	}
+	return 0, false
+}
+
+// TrackStats summarizes one (pid, tid) track.
+type TrackStats struct {
+	Pid, Tid    int64
+	Process     string // from process_name metadata, if present
+	Thread      string // from thread_name metadata, if present
+	Spans       int
+	SpanCycles  int64 // sum of span durations
+	Instants    int
+	CounterSamp int
+	FirstTs     int64
+	LastTs      int64 // max of Ts (+Dur for spans)
+}
+
+// key identifies a track.
+type key struct{ pid, tid int64 }
+
+// Report is the output of Stats: per-track summaries plus whole-trace
+// name frequencies.
+type Report struct {
+	Events    int
+	Tracks    []*TrackStats  // sorted by (pid, tid)
+	NameCount map[string]int // events per name, metadata excluded
+}
+
+// Stats summarizes a parsed trace.
+func Stats(events []trace.Event) *Report {
+	rep := &Report{Events: len(events), NameCount: make(map[string]int)}
+	tracks := make(map[key]*TrackStats)
+	procName := make(map[int64]string)
+	threadName := make(map[key]string)
+	get := func(k key) *TrackStats {
+		ts, ok := tracks[k]
+		if !ok {
+			ts = &TrackStats{Pid: k.pid, Tid: k.tid, FirstTs: -1}
+			tracks[k] = ts
+		}
+		return ts
+	}
+	for _, ev := range events {
+		if ev.Ph == trace.PhaseMeta {
+			if name, ok := ev.Args["name"].(string); ok {
+				switch ev.Name {
+				case "process_name":
+					procName[ev.Pid] = name
+				case "thread_name":
+					threadName[key{ev.Pid, ev.Tid}] = name
+				}
+			}
+			continue
+		}
+		rep.NameCount[ev.Name]++
+		ts := get(key{ev.Pid, ev.Tid})
+		end := ev.Ts
+		switch ev.Ph {
+		case trace.PhaseComplete:
+			ts.Spans++
+			ts.SpanCycles += ev.Dur
+			end += ev.Dur
+		case trace.PhaseInstant:
+			ts.Instants++
+		case trace.PhaseCounter:
+			ts.CounterSamp++
+		}
+		if ts.FirstTs < 0 || ev.Ts < ts.FirstTs {
+			ts.FirstTs = ev.Ts
+		}
+		if end > ts.LastTs {
+			ts.LastTs = end
+		}
+	}
+	for k, ts := range tracks {
+		ts.Process = procName[k.pid]
+		ts.Thread = threadName[k]
+		rep.Tracks = append(rep.Tracks, ts)
+	}
+	sort.Slice(rep.Tracks, func(i, j int) bool {
+		a, b := rep.Tracks[i], rep.Tracks[j]
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		return a.Tid < b.Tid
+	})
+	return rep
+}
+
+// Render writes the report as aligned text.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "events: %d  tracks: %d\n\n", r.Events, len(r.Tracks))
+	fmt.Fprintf(w, "%-6s %-6s %-28s %-24s %8s %14s %8s %8s %14s\n",
+		"pid", "tid", "process", "thread", "spans", "span-cycles", "inst", "counter", "span")
+	for _, ts := range r.Tracks {
+		span := fmt.Sprintf("%d..%d", ts.FirstTs, ts.LastTs)
+		fmt.Fprintf(w, "%-6d %-6d %-28s %-24s %8d %14d %8d %8d %14s\n",
+			ts.Pid, ts.Tid, clip(ts.Process, 28), clip(ts.Thread, 24),
+			ts.Spans, ts.SpanCycles, ts.Instants, ts.CounterSamp, span)
+	}
+	fmt.Fprintf(w, "\n%-24s %8s\n", "event name", "count")
+	names := make([]string, 0, len(r.NameCount))
+	for n := range r.NameCount {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-24s %8d\n", n, r.NameCount[n])
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// EpochInfo is one recording epoch extracted from a trace: the "epoch" span
+// plus any divergence instants that name the same epoch index.
+type EpochInfo struct {
+	Index       int64
+	Start       int64
+	Cycles      int64 // span duration
+	Syscalls    int64
+	SyncOps     int64
+	Divergences int
+}
+
+// Epochs extracts the recording's epoch timeline from a parsed trace, sorted
+// by epoch index. Traces holding several recordings interleave their epochs;
+// pass a single-run trace for a meaningful diff.
+func Epochs(events []trace.Event) []EpochInfo {
+	byIdx := make(map[int64]*EpochInfo)
+	for _, ev := range events {
+		idx, ok := argInt(ev.Args, "epoch")
+		if !ok {
+			continue
+		}
+		switch {
+		case ev.Name == "epoch" && ev.Ph == trace.PhaseComplete:
+			e, ok := byIdx[idx]
+			if !ok {
+				e = &EpochInfo{Index: idx}
+				byIdx[idx] = e
+			}
+			e.Start = ev.Ts
+			e.Cycles = ev.Dur
+			if n, ok := argInt(ev.Args, "syscalls"); ok {
+				e.Syscalls = n
+			}
+			if n, ok := argInt(ev.Args, "syncops"); ok {
+				e.SyncOps = n
+			}
+		case ev.Name == "divergence" && ev.Ph == trace.PhaseInstant:
+			e, ok := byIdx[idx]
+			if !ok {
+				e = &EpochInfo{Index: idx, Cycles: -1}
+				byIdx[idx] = e
+			}
+			e.Divergences++
+		}
+	}
+	out := make([]EpochInfo, 0, len(byIdx))
+	for _, e := range byIdx {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// EpochDelta compares one epoch index across two traces. Missing epochs
+// (present in only one trace) have InA/InB false.
+type EpochDelta struct {
+	Index      int64
+	InA, InB   bool
+	CyclesA    int64
+	CyclesB    int64
+	Delta      int64 // CyclesB - CyclesA, when both present
+	DivergeA   int
+	DivergeB   int
+	SyscallsA  int64
+	SyscallsB  int64
+	Divergent  bool // cycle counts differ or epoch missing on one side
+	DivergeHit bool // either side recorded a divergence event here
+}
+
+// DiffReport aligns two traces epoch by epoch.
+type DiffReport struct {
+	A, B           string // labels (file names)
+	Epochs         []EpochDelta
+	FirstDivergent int64 // epoch index, or -1 when the timelines agree
+	TotalA, TotalB int64 // summed epoch cycles
+}
+
+// Diff aligns two parsed traces by epoch index and reports per-epoch cycle
+// deltas and the first index at which the runs disagree (different epoch
+// duration, or an epoch present on only one side). Identical runs yield
+// FirstDivergent == -1.
+func Diff(labelA string, a []trace.Event, labelB string, b []trace.Event) *DiffReport {
+	ea, eb := Epochs(a), Epochs(b)
+	byA := make(map[int64]EpochInfo, len(ea))
+	for _, e := range ea {
+		byA[e.Index] = e
+	}
+	byB := make(map[int64]EpochInfo, len(eb))
+	for _, e := range eb {
+		byB[e.Index] = e
+	}
+	idxSet := make(map[int64]struct{})
+	for i := range byA {
+		idxSet[i] = struct{}{}
+	}
+	for i := range byB {
+		idxSet[i] = struct{}{}
+	}
+	idxs := make([]int64, 0, len(idxSet))
+	for i := range idxSet {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+
+	rep := &DiffReport{A: labelA, B: labelB, FirstDivergent: -1}
+	for _, i := range idxs {
+		va, inA := byA[i]
+		vb, inB := byB[i]
+		d := EpochDelta{Index: i, InA: inA, InB: inB}
+		if inA {
+			d.CyclesA = va.Cycles
+			d.DivergeA = va.Divergences
+			d.SyscallsA = va.Syscalls
+			rep.TotalA += va.Cycles
+		}
+		if inB {
+			d.CyclesB = vb.Cycles
+			d.DivergeB = vb.Divergences
+			d.SyscallsB = vb.Syscalls
+			rep.TotalB += vb.Cycles
+		}
+		if inA && inB {
+			d.Delta = d.CyclesB - d.CyclesA
+			d.Divergent = d.CyclesA != d.CyclesB
+		} else {
+			d.Divergent = true
+		}
+		d.DivergeHit = d.DivergeA > 0 || d.DivergeB > 0
+		if d.Divergent && rep.FirstDivergent < 0 {
+			rep.FirstDivergent = i
+		}
+		rep.Epochs = append(rep.Epochs, d)
+	}
+	return rep
+}
+
+// Render writes the diff as aligned text, flagging the first divergence.
+func (r *DiffReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "A: %s\nB: %s\n\n", r.A, r.B)
+	fmt.Fprintf(w, "%-6s %14s %14s %12s %6s %6s\n", "epoch", "cycles A", "cycles B", "delta", "divA", "divB")
+	for _, d := range r.Epochs {
+		ca, cb, delta := "-", "-", "-"
+		if d.InA {
+			ca = fmt.Sprintf("%d", d.CyclesA)
+		}
+		if d.InB {
+			cb = fmt.Sprintf("%d", d.CyclesB)
+		}
+		if d.InA && d.InB {
+			delta = fmt.Sprintf("%+d", d.Delta)
+		}
+		mark := ""
+		if d.Index == r.FirstDivergent {
+			mark = "  <- first divergent epoch"
+		} else if d.Divergent {
+			mark = "  *"
+		}
+		fmt.Fprintf(w, "%-6d %14s %14s %12s %6d %6d%s\n", d.Index, ca, cb, delta, d.DivergeA, d.DivergeB, mark)
+	}
+	fmt.Fprintf(w, "\ntotal epoch cycles: A=%d B=%d (delta %+d)\n", r.TotalA, r.TotalB, r.TotalB-r.TotalA)
+	if r.FirstDivergent < 0 {
+		fmt.Fprintf(w, "timelines agree: no divergent epoch\n")
+	} else {
+		fmt.Fprintf(w, "first divergent epoch: %d\n", r.FirstDivergent)
+	}
+}
+
+// Promlint checks text for gross violations of the Prometheus text
+// exposition format (version 0.0.4): malformed lines, sample names that
+// disagree with the preceding TYPE declaration, duplicate TYPE lines, and
+// histograms missing their _sum/_count series. It returns one message per
+// problem; an empty slice means the input passed.
+func Promlint(text string) []string {
+	var problems []string
+	typeOf := make(map[string]string) // metric family -> kind
+	samples := make(map[string]bool)  // sample names seen
+	var order []string                // family declaration order
+	lineNo := 0
+	for _, line := range strings.Split(text, "\n") {
+		lineNo++
+		if line == "" || strings.HasPrefix(line, "# HELP") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				problems = append(problems, fmt.Sprintf("line %d: malformed TYPE line", lineNo))
+				continue
+			}
+			name, kind := fields[2], fields[3]
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				problems = append(problems, fmt.Sprintf("line %d: unknown metric type %q", lineNo, kind))
+			}
+			if _, dup := typeOf[name]; dup {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE for %s", lineNo, name))
+			}
+			typeOf[name] = kind
+			order = append(order, name)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		// Sample line: name{labels} value  or  name value.
+		name := line
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if j := strings.LastIndexByte(line, '}'); j < i {
+				problems = append(problems, fmt.Sprintf("line %d: unbalanced braces", lineNo))
+				continue
+			}
+			name = name[:i]
+		} else if i := strings.IndexByte(name, ' '); i >= 0 {
+			name = name[:i]
+		}
+		if name == "" || !validMetricName(name) {
+			problems = append(problems, fmt.Sprintf("line %d: invalid metric name %q", lineNo, name))
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			problems = append(problems, fmt.Sprintf("line %d: sample without value", lineNo))
+			continue
+		}
+		samples[name] = true
+		if family, ok := familyOf(name, typeOf); ok {
+			_ = family
+		} else if len(typeOf) > 0 {
+			problems = append(problems, fmt.Sprintf("line %d: sample %s has no TYPE declaration", lineNo, name))
+		}
+	}
+	for _, fam := range order {
+		if typeOf[fam] != "histogram" {
+			continue
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if !samples[fam+suffix] {
+				problems = append(problems, fmt.Sprintf("histogram %s missing %s%s series", fam, fam, suffix))
+			}
+		}
+	}
+	return problems
+}
+
+// familyOf maps a sample name to its declared family, accepting histogram
+// suffixes.
+func familyOf(name string, typeOf map[string]string) (string, bool) {
+	if _, ok := typeOf[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if kind, ok := typeOf[base]; ok && (kind == "histogram" || kind == "summary") {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(name) > 0
+}

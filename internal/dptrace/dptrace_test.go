@@ -1,0 +1,161 @@
+package dptrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"doubleplay/internal/trace"
+)
+
+// epochSpan builds one recording-style epoch span.
+func epochSpan(idx int64, ts, dur int64, pid int64) trace.Event {
+	return trace.Event{Name: "epoch", Ph: trace.PhaseComplete, Ts: ts, Dur: dur, Pid: pid,
+		Args: map[string]any{"epoch": float64(idx), "syscalls": float64(2 + idx)}}
+}
+
+func TestStatsSynthetic(t *testing.T) {
+	evs := []trace.Event{
+		{Name: "process_name", Ph: trace.PhaseMeta, Pid: 1, Args: map[string]any{"name": "record x"}},
+		{Name: "thread_name", Ph: trace.PhaseMeta, Pid: 1, Tid: 0, Args: map[string]any{"name": "epochs"}},
+		epochSpan(0, 0, 100, 1),
+		epochSpan(1, 100, 150, 1),
+		{Name: "sync", Ph: trace.PhaseInstant, Ts: 42, Pid: 1, Tid: 0},
+		{Name: "log.syscalls", Ph: trace.PhaseCounter, Ts: 100, Pid: 1, Tid: 0,
+			Args: map[string]any{"value": float64(7)}},
+		{Name: "slice", Ph: trace.PhaseComplete, Ts: 10, Dur: 20, Pid: 2, Tid: 3},
+	}
+	rep := Stats(evs)
+	if rep.Events != len(evs) {
+		t.Fatalf("Events = %d", rep.Events)
+	}
+	if len(rep.Tracks) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(rep.Tracks))
+	}
+	tr0 := rep.Tracks[0]
+	if tr0.Pid != 1 || tr0.Process != "record x" || tr0.Thread != "epochs" {
+		t.Fatalf("track 0 = %+v", tr0)
+	}
+	if tr0.Spans != 2 || tr0.SpanCycles != 250 || tr0.Instants != 1 || tr0.CounterSamp != 1 {
+		t.Fatalf("track 0 counts = %+v", tr0)
+	}
+	if tr0.FirstTs != 0 || tr0.LastTs != 250 {
+		t.Fatalf("track 0 span = %d..%d", tr0.FirstTs, tr0.LastTs)
+	}
+	if rep.NameCount["epoch"] != 2 || rep.NameCount["process_name"] != 0 {
+		t.Fatalf("name counts = %v", rep.NameCount)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	for _, want := range []string{"events: 7", "record x", "epoch", "slice"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestEpochsExtraction(t *testing.T) {
+	evs := []trace.Event{
+		epochSpan(1, 100, 150, 1),
+		epochSpan(0, 0, 100, 1),
+		{Name: "divergence", Ph: trace.PhaseInstant, Ts: 260, Pid: 1,
+			Args: map[string]any{"epoch": float64(1), "kind": "state"}},
+		{Name: "sync", Ph: trace.PhaseInstant, Ts: 1, Pid: 2, Tid: 0}, // no epoch arg: ignored
+	}
+	eps := Epochs(evs)
+	if len(eps) != 2 {
+		t.Fatalf("epochs = %d", len(eps))
+	}
+	if eps[0].Index != 0 || eps[1].Index != 1 {
+		t.Fatalf("not sorted by index: %+v", eps)
+	}
+	if eps[1].Cycles != 150 || eps[1].Divergences != 1 || eps[1].Syscalls != 3 {
+		t.Fatalf("epoch 1 = %+v", eps[1])
+	}
+	if eps[0].Divergences != 0 {
+		t.Fatalf("epoch 0 = %+v", eps[0])
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := []trace.Event{epochSpan(0, 0, 100, 1), epochSpan(1, 100, 150, 1)}
+	rep := Diff("a", a, "b", a)
+	if rep.FirstDivergent != -1 {
+		t.Fatalf("identical traces diverge at %d", rep.FirstDivergent)
+	}
+	if rep.TotalA != 250 || rep.TotalB != 250 {
+		t.Fatalf("totals %d %d", rep.TotalA, rep.TotalB)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "timelines agree") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestDiffDivergentAndMissing(t *testing.T) {
+	a := []trace.Event{epochSpan(0, 0, 100, 1), epochSpan(1, 100, 150, 1), epochSpan(2, 250, 80, 1)}
+	b := []trace.Event{epochSpan(0, 0, 100, 1), epochSpan(1, 100, 170, 1)}
+	rep := Diff("a", a, "b", b)
+	if rep.FirstDivergent != 1 {
+		t.Fatalf("first divergent = %d, want 1", rep.FirstDivergent)
+	}
+	if len(rep.Epochs) != 3 {
+		t.Fatalf("epochs = %d", len(rep.Epochs))
+	}
+	d1 := rep.Epochs[1]
+	if !d1.Divergent || d1.Delta != 20 {
+		t.Fatalf("epoch 1 delta = %+v", d1)
+	}
+	d2 := rep.Epochs[2]
+	if !d2.Divergent || d2.InB || !d2.InA {
+		t.Fatalf("epoch 2 = %+v", d2)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "first divergent epoch: 1") || !strings.Contains(out, "<- first divergent epoch") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// TestPromlintAcceptsExporter feeds Promlint the real exporter's output.
+func TestPromlintAcceptsExporter(t *testing.T) {
+	reg := trace.NewRegistry()
+	reg.Add("record.epochs", 5, trace.Label("workload", "pbzip"))
+	reg.Set("record.completion_cycles", 12345, trace.Label("workload", "pbzip"))
+	reg.Observe("epoch.cycles", 100, trace.Label("workload", "pbzip"))
+	reg.Observe("epoch.cycles", 90000, trace.Label("workload", "pbzip"))
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if problems := Promlint(buf.String()); len(problems) != 0 {
+		t.Fatalf("exporter output fails lint:\n%s\n%v", buf.String(), problems)
+	}
+}
+
+func TestPromlintCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"duplicate type", "# TYPE x counter\n# TYPE x gauge\nx 1\n", "duplicate TYPE"},
+		{"unknown type", "# TYPE x flum\nx 1\n", "unknown metric type"},
+		{"bad name", "# TYPE ok counter\nok 1\n9bad 2\n", "invalid metric name"},
+		{"no value", "# TYPE x counter\nx\n", "sample without value"},
+		{"undeclared", "# TYPE x counter\nx 1\ny 2\n", "no TYPE declaration"},
+		{"histogram incomplete", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 10\n", "missing h_count"},
+	}
+	for _, c := range cases {
+		problems := Promlint(c.text)
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: want a %q problem, got %v", c.name, c.want, problems)
+		}
+	}
+}

@@ -74,11 +74,11 @@ type RunSpec struct {
 	OnSync      func(vm.SyncEvent)
 	OnMemAccess func(tid int, addr vm.Word, write bool)
 
-	// Trace, when non-nil, receives one "slice" span per executed
-	// timeslice with epoch-local timestamps (cycle 0 = epoch start on the
-	// virtual CPU). Callers splice the buffer to the epoch's
-	// pipeline-assigned position; see trace.Sink.Splice.
-	Trace *trace.Sink
+	// Trace, when set, receives one "slice" span per executed timeslice
+	// with epoch-local timestamps (cycle 0 = epoch start on the virtual
+	// CPU). Callers splice the buffer to the epoch's pipeline-assigned
+	// position; see trace.Sink.Splice.
+	Trace trace.Recorder
 }
 
 // RunResult is the outcome of an epoch-parallel execution.

@@ -30,7 +30,8 @@ type Config struct {
 	// Trace, when non-nil, receives the full timeline of every recording
 	// and replay an experiment performs (dpbench -trace). Tracing is purely
 	// observational: experiment numbers are identical with or without it.
-	Trace *trace.Sink
+	// Both the buffered Sink and the streaming StreamSink work here.
+	Trace trace.Recorder
 
 	// Metrics, when non-nil, aggregates per-run counters and distributions
 	// across every recording an experiment performs (dpbench -metrics).

@@ -146,12 +146,12 @@ func LogSize(cfg Config) []LogSizeRow {
 	for _, name := range cfg.evalSet() {
 		res, _ := record(name, workers, workers, cfg)
 		_, bt := build(name, workers, cfg)
-		crew, err := baseline.RunCREW(bt.Prog, bt.World, workers, cfg.Seed, cfg.Costs)
+		crew, err := baseline.RunCREW(bt.Prog, bt.World, workers, cfg.Seed, cfg.Costs, cfg.Trace)
 		if err != nil {
 			panic(fmt.Sprintf("exp: crew %s: %v", name, err))
 		}
 		_, bt2 := build(name, workers, cfg)
-		uni, err := baseline.RunUniprocessor(bt2.Prog, bt2.World, cfg.Costs)
+		uni, err := baseline.RunUniprocessor(bt2.Prog, bt2.World, cfg.Costs, cfg.Trace)
 		if err != nil {
 			panic(fmt.Sprintf("exp: uni %s: %v", name, err))
 		}
@@ -419,7 +419,7 @@ func UniBaseline(cfg Config, workers int) []UniRow {
 	for _, name := range cfg.evalSet() {
 		nat := native(name, workers, cfg)
 		_, bt := build(name, workers, cfg)
-		uni, err := baseline.RunUniprocessor(bt.Prog, bt.World, cfg.Costs)
+		uni, err := baseline.RunUniprocessor(bt.Prog, bt.World, cfg.Costs, cfg.Trace)
 		if err != nil {
 			panic(fmt.Sprintf("exp: uni %s: %v", name, err))
 		}

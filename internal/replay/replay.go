@@ -72,12 +72,12 @@ func runEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel, buf *trace
 // starting from program reset. It verifies every epoch boundary hash and
 // the final hash. A non-nil sink receives one "replay.epoch" span per
 // epoch with the followed timeslices nested inside.
-func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sink *trace.Sink) (*Result, error) {
+func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
 	var pid int64
-	if sink.Enabled() {
+	if trace.Enabled(sink) {
 		pid = sink.AllocPid("replay " + rec.Program + " (sequential)")
 		sink.NameThread(pid, 0, "epochs")
 	}
@@ -89,14 +89,14 @@ func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sin
 				ep.Index, h, ep.StartHash)
 		}
 		var buf *trace.Sink
-		if sink.Enabled() {
+		if trace.Enabled(sink) {
 			buf = trace.NewSink()
 		}
 		c, err := runEpoch(m, ep, costs, buf)
 		if err != nil {
 			return nil, err
 		}
-		if sink.Enabled() {
+		if trace.Enabled(sink) {
 			sink.Span("replay.epoch", res.Cycles, c, pid, 0, map[string]any{
 				"epoch": ep.Index, "slices": len(ep.Schedule), "syscalls": len(ep.Syscalls),
 			})
@@ -118,7 +118,7 @@ func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sin
 // makespan of packing epoch durations onto cpus cores. A non-nil sink
 // receives one "replay.epoch" span per epoch at its packed position, on a
 // track per modelled core.
-func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Boundary, cpus int, costs *vm.CostModel, sink *trace.Sink) (*Result, error) {
+func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -139,7 +139,7 @@ func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Bounda
 			return nil, fmt.Errorf("replay: epoch %d: checkpoint hash %016x != recorded start %016x",
 				ep.Index, boundaries[i].Hash, ep.StartHash)
 		}
-		if sink.Enabled() {
+		if trace.Enabled(sink) {
 			bufs[i] = trace.NewSink()
 		}
 		wg.Add(1)
@@ -159,7 +159,7 @@ func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Bounda
 	}
 
 	slots, wall := pack(durs, cpus)
-	if sink.Enabled() {
+	if trace.Enabled(sink) {
 		pid := sink.AllocPid("replay " + rec.Program + " (epoch-parallel)")
 		for c := 0; c < cpus; c++ {
 			sink.NameThread(pid, int64(c), fmt.Sprintf("core %d", c))
@@ -214,7 +214,7 @@ func pack(durs []int64, cpus int) ([]packSlot, int64) {
 // produces a valid set). A non-nil sink receives one "replay.segment" span
 // per segment at its packed position, with the segment's "replay.epoch"
 // spans and timeslices nested inside.
-func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink *trace.Sink) (*Result, error) {
+func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -256,7 +256,7 @@ func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boun
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cpus)
 	for i, sg := range segs {
-		if sink.Enabled() {
+		if trace.Enabled(sink) {
 			bufs[i] = trace.NewSink()
 		}
 		wg.Add(1)
@@ -298,7 +298,7 @@ func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boun
 	}
 
 	slots, wall := pack(durs, cpus)
-	if sink.Enabled() {
+	if trace.Enabled(sink) {
 		pid := sink.AllocPid("replay " + rec.Program + " (sparse segments)")
 		for c := 0; c < cpus; c++ {
 			sink.NameThread(pid, int64(c), fmt.Sprintf("core %d", c))

@@ -41,11 +41,14 @@ type Parallel struct {
 	CPUs    int
 	Quantum int64
 
-	// Trace, when non-nil, receives one "run" span per thread↔CPU binding,
-	// homed on (TracePid, guest tid) with the CPU index in args — the
-	// thread-parallel occupancy timeline. Tracing never alters any clock.
-	Trace    *trace.Sink
-	TracePid int64
+	// Trace, when set, receives one span per thread↔CPU binding (named
+	// TraceSpan, default "run"), homed on (TracePid, guest tid) with the
+	// CPU index in args — the thread-parallel occupancy timeline. Tracing
+	// never alters any clock. Both the buffered and the streaming sink
+	// satisfy the interface; leaving the field nil disables tracing.
+	Trace     trace.Recorder
+	TracePid  int64
+	TraceSpan string
 
 	cpus     []pcpu
 	rng      *rand.Rand
@@ -160,8 +163,12 @@ func (p *Parallel) dispatch(ci int) *vm.Thread {
 
 // unbind releases CPU ci's thread.
 func (p *Parallel) unbind(ci int) {
-	if p.Trace.Enabled() && p.cpus[ci].tid >= 0 && p.cpus[ci].clock > p.cpus[ci].bindTs {
-		p.Trace.Span("run", p.cpus[ci].bindTs, p.cpus[ci].clock-p.cpus[ci].bindTs,
+	if trace.Enabled(p.Trace) && p.cpus[ci].tid >= 0 && p.cpus[ci].clock > p.cpus[ci].bindTs {
+		name := p.TraceSpan
+		if name == "" {
+			name = "run"
+		}
+		p.Trace.Span(name, p.cpus[ci].bindTs, p.cpus[ci].clock-p.cpus[ci].bindTs,
 			p.TracePid, int64(p.cpus[ci].tid), map[string]any{"cpu": ci})
 	}
 	p.cpus[ci].tid = -1

@@ -47,14 +47,15 @@ type Uni struct {
 	LogSchedule bool
 	Log         []dplog.Slice
 
-	// Trace, when non-nil, receives one "slice" span per executed
-	// timeslice, stamped with this scheduler's local Cycles clock and
-	// homed on (TracePid, TraceTid). Callers that know the run's global
-	// position splice a buffer instead (see trace.Sink.Splice). Tracing
-	// never alters Cycles.
-	Trace    *trace.Sink
-	TracePid int64
-	TraceTid int64
+	// Trace, when set, receives one span per executed timeslice (named
+	// TraceSpan, default "slice"), stamped with this scheduler's local
+	// Cycles clock and homed on (TracePid, TraceTid). Callers that know
+	// the run's global position splice a buffer instead (see
+	// trace.Sink.Splice). Tracing never alters Cycles.
+	Trace     trace.Recorder
+	TracePid  int64
+	TraceTid  int64
+	TraceSpan string
 
 	// Cycles is the simulated time consumed on this CPU, including
 	// context-switch and schedule-logging charges.
@@ -69,6 +70,14 @@ type Uni struct {
 // NewUni builds a uniprocessor scheduler over m.
 func NewUni(m *vm.Machine) *Uni {
 	return &Uni{M: m, Quantum: DefaultQuantum}
+}
+
+// sliceSpan returns the trace span name for one timeslice.
+func (u *Uni) sliceSpan() string {
+	if u.TraceSpan != "" {
+		return u.TraceSpan
+	}
+	return "slice"
 }
 
 // belowTarget reports whether t still has instructions to retire this run.
@@ -246,8 +255,8 @@ func (u *Uni) runSlice(t *vm.Thread, quantum int64) (uint64, error) {
 		u.Cycles += res.Cost
 		retired++
 	}
-	if u.Trace.Enabled() && retired > 0 {
-		u.Trace.Span("slice", sliceStart, u.Cycles-sliceStart, u.TracePid, u.TraceTid,
+	if trace.Enabled(u.Trace) && retired > 0 {
+		u.Trace.Span(u.sliceSpan(), sliceStart, u.Cycles-sliceStart, u.TracePid, u.TraceTid,
 			map[string]any{"tid": t.ID, "retired": retired})
 	}
 	// A guest fault ends the thread like an exit; whether that is a guest
@@ -304,8 +313,8 @@ func (u *Uni) runFollow() error {
 			return fmt.Errorf("%w: slice %d: thread %d retired %d, slice says %d",
 				ErrDiverged, i, s.Tid, retired, s.N)
 		}
-		if u.Trace.Enabled() {
-			u.Trace.Span("slice", sliceStart, u.Cycles-sliceStart, u.TracePid, u.TraceTid,
+		if trace.Enabled(u.Trace) {
+			u.Trace.Span(u.sliceSpan(), sliceStart, u.Cycles-sliceStart, u.TracePid, u.TraceTid,
 				map[string]any{"tid": s.Tid, "retired": retired})
 		}
 		u.Switches++

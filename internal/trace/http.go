@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"net"
+	"net/http"
+)
+
+// promContentType is the Prometheus text exposition format content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler that serves the registry in Prometheus
+// text format. Mount it at /metrics; the registry's own mutex makes
+// concurrent scrapes during a live recording safe.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", promContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// MetricsServer is a running /metrics endpoint started by ServeMetrics.
+type MetricsServer struct {
+	Addr string // the bound address, useful with ":0"
+	srv  *http.Server
+}
+
+// Close shuts the server down immediately.
+func (m *MetricsServer) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Close()
+}
+
+// ServeMetrics binds addr and serves the registry at /metrics plus a
+// trivial /healthz, in a background goroutine, while a recording runs in
+// the foreground. It returns once the listener is bound, so a scraper can
+// connect immediately; call Close when the run is over.
+func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return &MetricsServer{Addr: ln.Addr().String(), srv: srv}, nil
+}

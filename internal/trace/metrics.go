@@ -139,22 +139,34 @@ func (h *Histogram) observe(v int64) {
 	h.Buckets[bits.Len64(uint64(v))]++
 }
 
-// Quantile returns an upper bound on the q-quantile sample (0 <= q <= 1).
+// Quantile returns an upper bound on the q-quantile sample. The edges are
+// exact rather than bucket bounds: an empty histogram returns 0, q <= 0
+// returns Min, and q >= 1 returns Max (out-of-range q clamps to [0, 1]).
+// Interior quantiles return the containing bucket's upper bound, clamped
+// into [Min, Max].
 func (h *Histogram) Quantile(q float64) int64 {
-	if h.Count == 0 {
+	if h == nil || h.Count == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
 	}
 	rank := int64(q * float64(h.Count-1))
 	var seen int64
 	for i, n := range h.Buckets {
 		seen += n
 		if seen > rank {
-			if i == 0 {
-				return 0
-			}
+			// Bucket i holds samples with bit length i: upper bound 2^i - 1
+			// (bucket 0 holds only zeros).
 			ub := int64(1)<<uint(i) - 1
 			if ub > h.Max {
 				ub = h.Max
+			}
+			if ub < h.Min {
+				ub = h.Min
 			}
 			return ub
 		}
@@ -170,35 +182,35 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// sortedKeys returns the keys of m in sorted order. Both Render and
+// WritePrometheus iterate through it, so the two formats share one
+// deterministic ordering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Render writes every metric, sorted by kind then key, as aligned text.
+// The ordering is deterministic: series are sorted by their full
+// name{labels} key within each kind (counters, then gauges, then
+// histograms).
 func (r *Registry) Render(w io.Writer) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var keys []string
-	for k := range r.counters {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range sortedKeys(r.counters) {
 		fmt.Fprintf(w, "counter  %-56s %d\n", k, r.counters[k])
 	}
-	keys = keys[:0]
-	for k := range r.gauges {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range sortedKeys(r.gauges) {
 		fmt.Fprintf(w, "gauge    %-56s %g\n", k, r.gauges[k])
 	}
-	keys = keys[:0]
-	for k := range r.hists {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range sortedKeys(r.hists) {
 		h := r.hists[k]
 		fmt.Fprintf(w, "hist     %-56s count=%d sum=%d min=%d mean=%.0f p50<=%d p90<=%d max=%d\n",
 			k, h.Count, h.Sum, h.Min, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max)

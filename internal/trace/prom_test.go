@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// sampleRegistry builds a registry exercising every metric kind, labeled
+// and unlabeled.
+func sampleRegistry() *Registry {
+	r := NewRegistry()
+	r.Add("epochs", 3, Label("workload", "pbzip"))
+	r.Add("epochs", 2, Label("workload", "fft"))
+	r.Add("record.divergences", 1)
+	r.Set("overhead.pct", 12.5, Label("workload", "pbzip"))
+	r.Observe("epoch.cycles", 100, Label("workload", "pbzip"))
+	r.Observe("epoch.cycles", 900, Label("workload", "pbzip"))
+	r.Observe("epoch.cycles", 30000, Label("workload", "pbzip"))
+	return r
+}
+
+// TestRenderGolden pins Render's exact deterministic output.
+func TestRenderGolden(t *testing.T) {
+	const want = `counter  epochs{workload=fft}                                     2
+counter  epochs{workload=pbzip}                                   3
+counter  record.divergences                                       1
+gauge    overhead.pct{workload=pbzip}                             12.5
+hist     epoch.cycles{workload=pbzip}                             count=3 sum=31000 min=100 mean=10333 p50<=1023 p90<=1023 max=30000
+`
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		sampleRegistry().Render(&buf)
+		if got := buf.String(); got != want {
+			t.Fatalf("run %d: Render output changed:\n--- got ---\n%s--- want ---\n%s", i, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition output: sorted, typed, with
+// cumulative histogram buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	const want = `# TYPE doubleplay_epochs counter
+doubleplay_epochs{workload="fft"} 2
+doubleplay_epochs{workload="pbzip"} 3
+# TYPE doubleplay_record_divergences counter
+doubleplay_record_divergences 1
+# TYPE doubleplay_overhead_pct gauge
+doubleplay_overhead_pct{workload="pbzip"} 12.5
+# TYPE doubleplay_epoch_cycles histogram
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="0"} 0
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="1"} 0
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="3"} 0
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="7"} 0
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="15"} 0
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="31"} 0
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="63"} 0
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="127"} 1
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="255"} 1
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="511"} 1
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="1023"} 2
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="2047"} 2
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="4095"} 2
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="8191"} 2
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="16383"} 2
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="32767"} 3
+doubleplay_epoch_cycles_bucket{workload="pbzip",le="+Inf"} 3
+doubleplay_epoch_cycles_sum{workload="pbzip"} 31000
+doubleplay_epoch_cycles_count{workload="pbzip"} 3
+`
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		if err := sampleRegistry().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := buf.String(); got != want {
+			t.Fatalf("run %d: WritePrometheus output changed:\n--- got ---\n%s--- want ---\n%s", i, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry: err=%v out=%q", err, buf.String())
+	}
+	if err := NewRegistry().WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("empty registry: err=%v out=%q", err, buf.String())
+	}
+}
+
+// TestWritePrometheusKindCollision: a name used for two kinds must not emit
+// two TYPE lines for the same metric name.
+func TestWritePrometheusKindCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Add("both", 1)
+	r.Set("both", 2.0)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE doubleplay_both counter"); n != 1 {
+		t.Fatalf("counter TYPE count = %d\n%s", n, out)
+	}
+	if !strings.Contains(out, "# TYPE doubleplay_both_gauge gauge") {
+		t.Fatalf("gauge not disambiguated:\n%s", out)
+	}
+}
+
+func TestPromEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Add("weird.name-x", 1, Label("work load", `va"lue\`))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `doubleplay_weird_name_x{work_load="va\"lue\\"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", out)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %d", got)
+	}
+	empty := &Histogram{}
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d", got)
+	}
+	h := &Histogram{}
+	for _, v := range []int64{5, 100, 1000, 7000} {
+		h.observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 5}, {-1, 5}, // q <= 0 is the exact minimum
+		{1, 7000}, {2, 7000}, // q >= 1 is the exact maximum
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%g) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	// Interior quantiles stay within [Min, Max].
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got < h.Min || got > h.Max {
+			t.Fatalf("Quantile(%g) = %d outside [%d, %d]", q, got, h.Min, h.Max)
+		}
+	}
+	// Monotone in q.
+	prev := int64(-1)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone at q=%g: %d < %d", q, got, prev)
+		}
+		prev = got
+	}
+	// Single-sample histogram: every quantile is that sample.
+	one := &Histogram{}
+	one.observe(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q); got != 42 {
+			t.Fatalf("single-sample Quantile(%g) = %d", q, got)
+		}
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := sampleRegistry()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "# TYPE doubleplay_epochs counter") {
+		t.Fatalf("body missing TYPE line:\n%s", body)
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	reg := sampleRegistry()
+	srv, err := ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/healthz": "ok\n",
+		"/metrics": "doubleplay_epochs",
+	} {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("GET %s = %q, want substring %q", path, body, want)
+		}
+	}
+}

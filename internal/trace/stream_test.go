@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// canonEvents renders events as sorted canonical strings for multiset
+// comparison, normalizing arg numeric types through the JSON round trip.
+func canonEvents(t *testing.T, evs []Event) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	s := NewSink()
+	for _, ev := range evs {
+		s.Emit(ev)
+	}
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(parsed))
+	for i, ev := range parsed {
+		keys := make([]string, 0, len(ev.Args))
+		for k := range ev.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s|%c|%d|%d|%d|%d", ev.Name, ev.Ph, ev.Ts, ev.Dur, ev.Pid, ev.Tid)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "|%s=%v", k, ev.Args[k])
+		}
+		out[i] = b.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lcg is a tiny deterministic generator for shuffled timestamps.
+func lcg(state *uint64) uint64 {
+	*state = *state*6364136223846793005 + 1442695040888963407
+	return *state >> 33
+}
+
+func TestStreamSinkNilSafe(t *testing.T) {
+	var s *StreamSink
+	if s.Enabled() {
+		t.Fatal("nil StreamSink reports enabled")
+	}
+	s.Emit(Event{Name: "x"})
+	s.Span("a", 0, 1, 1, 1, nil)
+	s.Instant("b", 0, 1, 1, nil)
+	s.Counter("c", 0, 1, 2)
+	s.NameThread(1, 1, "t")
+	s.Splice(NewSink(), 0, 1, 1)
+	if pid := s.AllocPid("p"); pid != 0 {
+		t.Fatalf("nil AllocPid = %d", pid)
+	}
+	if s.Written() != 0 || s.MaxBuffered() != 0 || s.Err() != nil {
+		t.Fatal("nil accessors not zero")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamSinkBoundedAndMultisetEqual is the tentpole guarantee: with a
+// small reorder window and heavily out-of-order emission, the live buffer
+// never exceeds the window and the streamed file parses back into exactly
+// the event multiset a buffered Sink collects for the same emission.
+func TestStreamSinkBoundedAndMultisetEqual(t *testing.T) {
+	const window = 8
+	const n = 500
+	var out bytes.Buffer
+	stream := NewStreamSink(&out, window)
+	buffered := NewSink()
+
+	state := uint64(42)
+	var evs []Event
+	for i := 0; i < n; i++ {
+		ts := int64(lcg(&state) % 10000) // wildly out of order
+		switch i % 3 {
+		case 0:
+			evs = append(evs, Event{Name: "span", Ph: PhaseComplete, Ts: ts, Dur: 5,
+				Pid: 1, Tid: int64(i % 4), Args: map[string]any{"i": i}})
+		case 1:
+			evs = append(evs, Event{Name: "inst", Ph: PhaseInstant, Ts: ts, Pid: 1, Tid: 0})
+		case 2:
+			evs = append(evs, Event{Name: "ctr", Ph: PhaseCounter, Ts: ts, Pid: 1,
+				Args: map[string]any{"value": int64(i)}})
+		}
+	}
+	for _, ev := range evs {
+		stream.Emit(ev)
+		buffered.Emit(ev)
+	}
+	if got := stream.MaxBuffered(); got > window {
+		t.Fatalf("live buffer reached %d events, window is %d", got, window)
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if stream.Written() != n {
+		t.Fatalf("written %d of %d events", stream.Written(), n)
+	}
+
+	parsed, err := ParseJSON(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("streamed output does not parse: %v", err)
+	}
+	got := canonEvents(t, parsed)
+	want := canonEvents(t, buffered.Events())
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d events, buffered %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event multiset mismatch at %d:\n  stream: %s\n  buffer: %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStreamSinkSortsWithinWindow checks the reorder window does its job:
+// emission that is out of order by less than the window streams out fully
+// time-sorted.
+func TestStreamSinkSortsWithinWindow(t *testing.T) {
+	var out bytes.Buffer
+	stream := NewStreamSink(&out, 16)
+	// Pairs arrive swapped: (10, 0), (30, 20), ... — disorder distance 1.
+	for i := 0; i < 50; i++ {
+		base := int64(i * 20)
+		stream.Instant("b", base+10, 1, 0, nil)
+		stream.Instant("a", base, 1, 0, nil)
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseJSON(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(parsed); i++ {
+		if parsed[i].Ts < parsed[i-1].Ts {
+			t.Fatalf("event %d at ts %d precedes predecessor at %d", i, parsed[i].Ts, parsed[i-1].Ts)
+		}
+	}
+}
+
+// TestStreamSinkSpliceMatchesSink pins Splice semantics against the
+// buffered implementation: identical shift, re-homing, and counter/meta
+// exemption.
+func TestStreamSinkSpliceMatchesSink(t *testing.T) {
+	child := NewSink()
+	child.Span("slice", 0, 100, 0, 0, map[string]any{"tid": 1})
+	child.Instant("sync", 50, 0, 3, nil)
+	child.Counter("log.bytes", 75, 0, 1234)
+	child.NameThread(0, 0, "w")
+
+	var out bytes.Buffer
+	stream := NewStreamSink(&out, 4)
+	stream.Splice(child, 1000, 7, 9)
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseJSON(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buffered := NewSink()
+	buffered.Splice(child, 1000, 7, 9)
+
+	got := canonEvents(t, parsed)
+	want := canonEvents(t, buffered.Events())
+	if len(got) != len(want) {
+		t.Fatalf("stream spliced %d events, sink %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("splice mismatch:\n  stream: %s\n  buffer: %s", got[i], want[i])
+		}
+	}
+}
+
+func TestStreamSinkCloseIdempotentAndRejects(t *testing.T) {
+	var out bytes.Buffer
+	stream := NewStreamSink(&out, 4)
+	stream.Instant("x", 1, 1, 0, nil)
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	first := out.String()
+	if err := stream.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if out.String() != first {
+		t.Fatal("second Close wrote more output")
+	}
+	stream.Instant("y", 2, 1, 0, nil)
+	if stream.Err() == nil {
+		t.Fatal("emit after Close not reported")
+	}
+	if _, err := ParseJSON(strings.NewReader(first)); err != nil {
+		t.Fatalf("closed output does not parse: %v", err)
+	}
+}
+
+func TestStreamSinkEmptyCloseParses(t *testing.T) {
+	var out bytes.Buffer
+	stream := NewStreamSink(&out, 4)
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ParseJSON(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("empty stream parsed into %d events", len(evs))
+	}
+}
+
+func TestStreamSinkAllocPid(t *testing.T) {
+	var out bytes.Buffer
+	stream := NewStreamSink(&out, 4)
+	p1 := stream.AllocPid("first")
+	p2 := stream.AllocPid("second")
+	if p1 == p2 || p1 == 0 || p2 == 0 {
+		t.Fatalf("AllocPid returned %d then %d", p1, p2)
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseJSON(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[int64]string{}
+	for _, ev := range parsed {
+		if ev.Name == "process_name" {
+			names[ev.Pid], _ = ev.Args["name"].(string)
+		}
+	}
+	if names[p1] != "first" || names[p2] != "second" {
+		t.Fatalf("process names %v", names)
+	}
+}

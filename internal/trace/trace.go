@@ -11,9 +11,14 @@
 // method is a nil-safe no-op, and hot paths guard argument construction
 // behind Enabled() so the disabled path allocates nothing.
 //
-// Traces export as Chrome trace_event JSON ([Sink.WriteJSON]) and load
+// Traces export as Chrome trace_event JSON — buffered ([Sink.WriteJSON])
+// or incrementally with a bounded reorder window ([StreamSink]) — and load
 // directly into Perfetto (https://ui.perfetto.dev) or chrome://tracing; one
-// trace microsecond equals one simulated cycle. The full event schema is
+// trace microsecond equals one simulated cycle. Both sinks implement
+// [Recorder], the interface the instrumented subsystems accept. The
+// metrics [Registry] renders as aligned text ([Registry.Render]) or the
+// Prometheus text format ([Registry.WritePrometheus], servable over HTTP
+// via [Registry.Handler]/[ServeMetrics]). The full event schema is
 // documented in docs/OBSERVABILITY.md.
 package trace
 
@@ -44,6 +49,42 @@ type Event struct {
 	Tid  int64
 	Args map[string]any
 }
+
+// Recorder is the event-collection interface shared by the buffered [Sink]
+// and the incremental [StreamSink]. Everything that narrates a timeline —
+// the recorder, the schedulers, replay, the baselines — takes a Recorder,
+// so a run can either accumulate its trace in memory or stream it to disk
+// with a bounded buffer.
+//
+// Splice deliberately takes a concrete *Sink: child buffers are always
+// small epoch-local accumulators, and only the top-level destination
+// varies.
+type Recorder interface {
+	// Enabled reports whether events are being collected; hot paths check
+	// it before building argument maps.
+	Enabled() bool
+	// Emit appends one event verbatim.
+	Emit(ev Event)
+	// Span emits a complete event covering [ts, ts+dur).
+	Span(name string, ts, dur, pid, tid int64, args map[string]any)
+	// Instant emits a point event at ts.
+	Instant(name string, ts, pid, tid int64, args map[string]any)
+	// Counter emits a sampled counter value.
+	Counter(name string, ts, pid int64, value int64)
+	// AllocPid reserves a fresh process id and names its track group.
+	AllocPid(name string) int64
+	// NameThread names one track within a process.
+	NameThread(pid, tid int64, name string)
+	// Splice appends a child buffer's events, shifted by shift cycles and
+	// re-homed onto (pid, tid); see [Sink.Splice] for the exact semantics.
+	Splice(child *Sink, shift, pid, tid int64)
+}
+
+// Enabled reports whether r is a live recorder. Unlike calling r.Enabled()
+// directly it tolerates both a nil interface value and a typed-nil
+// implementation, so callers holding a Recorder field that may never have
+// been set can guard hot paths safely.
+func Enabled(r Recorder) bool { return r != nil && r.Enabled() }
 
 // Sink collects events. The zero value is NOT ready to use; call NewSink.
 // A nil *Sink is the disabled sink: every method no-ops and Enabled
@@ -189,6 +230,19 @@ type jsonTrace struct {
 	DisplayTimeUnit string      `json:"displayTimeUnit"`
 }
 
+// toJSONEvent converts one event to its wire form.
+func toJSONEvent(ev Event) jsonEvent {
+	je := jsonEvent{Name: ev.Name, Ph: string(ev.Ph), Ts: ev.Ts, Pid: ev.Pid, Tid: ev.Tid, Args: ev.Args}
+	if ev.Ph == PhaseComplete {
+		d := ev.Dur
+		je.Dur = &d
+	}
+	if ev.Ph == PhaseInstant {
+		je.S = "t" // thread-scoped instant
+	}
+	return je
+}
+
 // WriteJSON writes the trace in Chrome trace_event JSON object format.
 // Event order is emission order; the format does not require sorting.
 func (s *Sink) WriteJSON(w io.Writer) error {
@@ -199,15 +253,7 @@ func (s *Sink) WriteJSON(w io.Writer) error {
 	s.mu.Lock()
 	evs := make([]jsonEvent, len(s.events))
 	for i, ev := range s.events {
-		je := jsonEvent{Name: ev.Name, Ph: string(ev.Ph), Ts: ev.Ts, Pid: ev.Pid, Tid: ev.Tid, Args: ev.Args}
-		if ev.Ph == PhaseComplete {
-			d := ev.Dur
-			je.Dur = &d
-		}
-		if ev.Ph == PhaseInstant {
-			je.S = "t" // thread-scoped instant
-		}
-		evs[i] = je
+		evs[i] = toJSONEvent(ev)
 	}
 	s.mu.Unlock()
 	enc := json.NewEncoder(w)

@@ -26,4 +26,26 @@ go run ./cmd/dpvet -q
 echo "== benchmark guard (golden cycle counts, nil-sink and traced)"
 go test ./internal/core/ -run 'TestGoldenCyclesUnchanged|TestTracingDoesNotPerturbCycles' -count=1
 
+echo "== baseline guard (traced baselines bit-identical, streamed = buffered)"
+go test ./internal/baseline/ -run 'TestCrewTracingBitIdentical|TestUniprocessorTracingBitIdentical' -count=1
+go test ./internal/core/ -run 'TestStreamedRecordingMatchesBuffered' -count=1
+
+echo "== observability gate (streamed trace -> dptrace, prometheus lint)"
+obs=$(mktemp -d)
+trap 'rm -rf "$obs"' EXIT
+go run ./cmd/doubleplay record -w racey -workers 2 -seed 11 \
+    -trace "$obs/a.json" -prom "$obs/m.prom" >/dev/null
+go run ./cmd/dptrace stats "$obs/a.json" >/dev/null
+go run ./cmd/dptrace promlint "$obs/m.prom" >/dev/null
+# Same seed: the diff must report agreement (exit 0).
+go run ./cmd/doubleplay record -w racey -workers 2 -seed 11 -trace "$obs/a2.json" >/dev/null
+go run ./cmd/dptrace diff "$obs/a.json" "$obs/a2.json" >/dev/null
+# Different seed on a racy workload: the diff must find a divergent epoch
+# (exit 3).
+go run ./cmd/doubleplay record -w racey -workers 2 -seed 12 -trace "$obs/b.json" >/dev/null
+if go run ./cmd/dptrace diff "$obs/a.json" "$obs/b.json" >/dev/null 2>&1; then
+    echo "dptrace diff failed to flag divergent seeds" >&2
+    exit 1
+fi
+
 echo "verify.sh: all checks passed"
