@@ -11,12 +11,23 @@
 //	doubleplay inspect -log pbzip.dplog
 //	doubleplay disasm  -w fft
 //	doubleplay races   -w webserve-racy -workers 4  # happens-before race report
+//	doubleplay serve   -listen :8421 -data ./dpdata # record/replay job daemon
+//
+// Exit codes are uniform across subcommands: 0 success, 1 runtime failure
+// (divergence, I/O error, failed self-check), 2 invocation error (unknown
+// command, bad flags, missing arguments — always with usage on stderr).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"doubleplay/internal/asm"
 	"doubleplay/internal/core"
@@ -24,6 +35,7 @@ import (
 	"doubleplay/internal/race"
 	"doubleplay/internal/replay"
 	"doubleplay/internal/sched"
+	"doubleplay/internal/server"
 	"doubleplay/internal/simos"
 	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
@@ -32,30 +44,39 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+		usageErr("missing command")
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		wlName   = fs.String("w", "", "workload name (see 'doubleplay list')")
-		workers  = fs.Int("workers", 2, "guest worker threads")
-		spares   = fs.Int("spares", 0, "spare cores for the epoch pipeline (default: workers)")
-		scale    = fs.Int("scale", 1, "problem size multiplier")
-		seed     = fs.Int64("seed", 11, "input/timing seed")
-		epochLen = fs.Int64("epoch", core.DefaultEpochCycles, "epoch length in cycles")
-		logPath  = fs.String("log", "", "recording file to read")
-		outPath  = fs.String("o", "", "recording file to write")
-		parallel = fs.Bool("parallel", false, "replay epochs in parallel (verify-time only)")
-		stride   = fs.Int("stride", 0, "also verify sparse segment-parallel replay with this checkpoint stride")
-		detect   = fs.Bool("detect-races", false, "run the happens-before detector during recording")
-		growth   = fs.Float64("growth", 1, "adaptive epoch growth factor (>1 enables)")
-		traceOut = fs.String("trace", "", "stream a Chrome trace_event JSON timeline to this file (record/verify/replay)")
-		traceWin = fs.Int("trace-window", 0, "streaming reorder window in events (0 = default)")
-		metrics  = fs.Bool("metrics", false, "print the metrics registry after the run (record/verify)")
-		promOut  = fs.String("prom", "", "write the metrics registry in Prometheus text format to this file (record/verify)")
-		listen   = fs.String("listen", "", "serve /metrics and /healthz on this address while the run executes")
+		wlName      = fs.String("w", "", "workload name (see 'doubleplay list')")
+		workers     = fs.Int("workers", 2, "guest worker threads")
+		spares      = fs.Int("spares", 0, "spare cores for the epoch pipeline (default: workers)")
+		scale       = fs.Int("scale", 1, "problem size multiplier")
+		seed        = fs.Int64("seed", 11, "input/timing seed")
+		epochLen    = fs.Int64("epoch", core.DefaultEpochCycles, "epoch length in cycles")
+		logPath     = fs.String("log", "", "recording file to read")
+		outPath     = fs.String("o", "", "recording file to write")
+		parallel    = fs.Bool("parallel", false, "replay epochs in parallel (verify-time only)")
+		stride      = fs.Int("stride", 0, "also verify sparse segment-parallel replay with this checkpoint stride")
+		detect      = fs.Bool("detect-races", false, "run the happens-before detector during recording")
+		growth      = fs.Float64("growth", 1, "adaptive epoch growth factor (>1 enables)")
+		traceOut    = fs.String("trace", "", "stream a Chrome trace_event JSON timeline to this file (record/verify/replay)")
+		traceWin    = fs.Int("trace-window", 0, "streaming reorder window in events (0 = default)")
+		traceSpan   = fs.Int64("trace-min-span", 0, "downsample: drop trace spans shorter than this many cycles")
+		traceStride = fs.Int("trace-counter-stride", 0, "downsample: keep every Nth counter sample per series")
+		metrics     = fs.Bool("metrics", false, "print the metrics registry after the run (record/verify)")
+		promOut     = fs.String("prom", "", "write the metrics registry in Prometheus text format to this file (record/verify)")
+		listen      = fs.String("listen", "", "serve /metrics and /healthz on this address while the run executes (serve: the API address)")
+
+		// serve-only flags.
+		dataDir      = fs.String("data", "dpdata", "serve: artifact store directory (blobs + per-job artifacts)")
+		pool         = fs.Int("pool", 2, "serve: worker pool size (concurrent jobs)")
+		queueDepth   = fs.Int("queue", 16, "serve: queued-job limit before submissions get 429")
+		jobTimeout   = fs.Duration("job-timeout", 2*time.Minute, "serve: default per-job timeout (0 disables; specs may override)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "serve: how long shutdown waits for running jobs before canceling them")
+		addrFile     = fs.String("addr-file", "", "serve: write the bound listen address to this file (for :0 listeners)")
 	)
 	fs.Parse(args)
 	if *spares == 0 {
@@ -69,6 +90,9 @@ func main() {
 		f, err := os.Create(*traceOut)
 		check(err)
 		stream = trace.NewStreamSink(f, *traceWin)
+		if *traceSpan > 0 || *traceStride > 1 {
+			stream.Downsample(*traceSpan, *traceStride)
+		}
 		sink = stream
 		defer f.Close()
 	}
@@ -76,7 +100,7 @@ func main() {
 	if *metrics || *promOut != "" || *listen != "" {
 		reg = trace.NewRegistry()
 	}
-	if *listen != "" {
+	if *listen != "" && cmd != "serve" {
 		srv, err := trace.ServeMetrics(*listen, reg)
 		check(err)
 		defer srv.Close()
@@ -88,8 +112,12 @@ func main() {
 			return
 		}
 		check(stream.Close())
-		fmt.Printf("trace: %d events streamed -> %s (max %d buffered; open with https://ui.perfetto.dev)\n",
-			stream.Written(), *traceOut, stream.MaxBuffered())
+		extra := ""
+		if n := stream.Dropped(); n > 0 {
+			extra = fmt.Sprintf(", %d downsampled away", n)
+		}
+		fmt.Printf("trace: %d events streamed -> %s (max %d buffered%s; open with https://ui.perfetto.dev)\n",
+			stream.Written(), *traceOut, stream.MaxBuffered(), extra)
 	}
 	flushMetrics := func() {
 		if *promOut != "" {
@@ -132,10 +160,10 @@ func main() {
 		flushMetrics()
 
 	case "replay":
-		bt := mustBuild(*wlName, *workers, *scale, *seed)
 		if *logPath == "" {
-			fatal("replay requires -log (or use 'verify' for an in-memory round trip)")
+			usageErr("replay requires -log (or use 'verify' for an in-memory round trip)")
 		}
+		bt := mustBuild(*wlName, *workers, *scale, *seed)
 		f, err := os.Open(*logPath)
 		check(err)
 		rec, err := dplog.Unmarshal(f)
@@ -177,7 +205,7 @@ func main() {
 
 	case "inspect":
 		if *logPath == "" {
-			fatal("inspect requires -log")
+			usageErr("inspect requires -log")
 		}
 		f, err := os.Open(*logPath)
 		check(err)
@@ -212,19 +240,69 @@ func main() {
 			fmt.Println("  " + r.String())
 		}
 
+	case "serve":
+		serve(*listen, *dataDir, *pool, *queueDepth, *jobTimeout, *drainTimeout, *addrFile)
+
 	default:
-		usage()
-		os.Exit(2)
+		usageErr(fmt.Sprintf("unknown command %q", cmd))
 	}
+}
+
+// serve runs the record/replay job daemon until SIGINT/SIGTERM, then
+// drains: in-flight jobs finish (or are canceled after drainTimeout),
+// artifacts are flushed, and the process exits 0.
+func serve(listen, dataDir string, pool, queueDepth int, jobTimeout, drainTimeout time.Duration, addrFile string) {
+	if listen == "" {
+		listen = "127.0.0.1:8421"
+	}
+	srv, err := server.New(server.Config{
+		DataDir:      dataDir,
+		Workers:      pool,
+		QueueDepth:   queueDepth,
+		JobTimeout:   jobTimeout,
+		DrainTimeout: drainTimeout,
+	})
+	check(err)
+	srv.Start()
+
+	ln, err := net.Listen("tcp", listen)
+	check(err)
+	if addrFile != "" {
+		check(os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644))
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "doubleplay: serving jobs on http://%s (data %s, %d workers, queue %d)\n",
+		ln.Addr(), dataDir, pool, queueDepth)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "doubleplay: %s received, draining\n", sig)
+	case err := <-errc:
+		fatal(fmt.Sprintf("serve: %v", err))
+	}
+
+	// Drain jobs first (queued jobs cancel, running jobs finish or get
+	// canceled after the grace period), then stop the HTTP listener.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout+30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "doubleplay: drain incomplete: %v\n", err)
+	}
+	check(hs.Shutdown(ctx))
+	fmt.Fprintln(os.Stderr, "doubleplay: drained")
 }
 
 func mustBuild(name string, workers, scale int, seed int64) *workloads.Built {
 	if name == "" {
-		fatal("missing -w <workload>; see 'doubleplay list'")
+		usageErr("missing -w <workload>; see 'doubleplay list'")
 	}
 	wl := workloads.Get(name)
 	if wl == nil {
-		fatal(fmt.Sprintf("unknown workload %q; see 'doubleplay list'", name))
+		usageErr(fmt.Sprintf("unknown workload %q; see 'doubleplay list'", name))
 	}
 	return wl.Build(workloads.Params{Workers: workers, Scale: scale, Seed: seed})
 }
@@ -276,15 +354,25 @@ func printStats(name string, res *core.Result) {
 	}
 }
 
+// check reports a runtime failure: message to stderr, exit 1.
 func check(err error) {
 	if err != nil {
 		fatal(err.Error())
 	}
 }
 
+// fatal is the runtime-failure exit: exit code 1, no usage text.
 func fatal(msg string) {
 	fmt.Fprintln(os.Stderr, "doubleplay: "+msg)
 	os.Exit(1)
+}
+
+// usageErr is the invocation-error exit: message plus usage to stderr,
+// exit code 2 (matching flag.ExitOnError's convention).
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "doubleplay: "+msg)
+	usage()
+	os.Exit(2)
 }
 
 func usage() {
@@ -297,5 +385,6 @@ commands:
   verify   record + replay in memory, checking every hash and the guest self-check
   inspect  print a recording's per-epoch log structure
   disasm   disassemble a workload's guest program
-  races    run the happens-before detector over a workload`)
+  races    run the happens-before detector over a workload
+  serve    run the record/replay job daemon (see docs/SERVER.md)`)
 }

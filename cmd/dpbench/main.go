@@ -26,16 +26,18 @@ import (
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment to run (see -list)")
-		seed      = flag.Int64("seed", 11, "input/timing seed")
-		scale     = flag.Int("scale", 1, "problem size multiplier")
-		seeds     = flag.Int("seeds", 12, "seed count for the divergence experiment")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		traceOut  = flag.String("trace", "", "stream a Chrome trace_event JSON timeline of every run to this file")
-		traceWin  = flag.Int("trace-window", 0, "streaming reorder window in events (0 = default)")
-		metricsOn = flag.Bool("metrics", false, "print the aggregate metrics registry after the experiments")
-		promOut   = flag.String("prom", "", "write the metrics registry in Prometheus text format to this file")
-		listen    = flag.String("listen", "", "serve /metrics and /healthz on this address while experiments run")
+		expName     = flag.String("exp", "all", "experiment to run (see -list)")
+		seed        = flag.Int64("seed", 11, "input/timing seed")
+		scale       = flag.Int("scale", 1, "problem size multiplier")
+		seeds       = flag.Int("seeds", 12, "seed count for the divergence experiment")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		traceOut    = flag.String("trace", "", "stream a Chrome trace_event JSON timeline of every run to this file")
+		traceWin    = flag.Int("trace-window", 0, "streaming reorder window in events (0 = default)")
+		traceSpan   = flag.Int64("trace-min-span", 0, "downsample: drop trace spans shorter than this many cycles")
+		traceStride = flag.Int("trace-counter-stride", 0, "downsample: keep every Nth counter sample per series")
+		metricsOn   = flag.Bool("metrics", false, "print the aggregate metrics registry after the experiments")
+		promOut     = flag.String("prom", "", "write the metrics registry in Prometheus text format to this file")
+		listen      = flag.String("listen", "", "serve /metrics and /healthz on this address while experiments run")
 	)
 	flag.Parse()
 
@@ -92,6 +94,9 @@ func main() {
 		}
 		defer f.Close()
 		stream = trace.NewStreamSink(f, *traceWin)
+		if *traceSpan > 0 || *traceStride > 1 {
+			stream.Downsample(*traceSpan, *traceStride)
+		}
 		cfg.Trace = stream
 	}
 	if *metricsOn || *promOut != "" || *listen != "" {
@@ -122,8 +127,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dpbench: writing trace: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\ntrace: %d events streamed -> %s (max %d buffered; open with https://ui.perfetto.dev)\n",
-			stream.Written(), *traceOut, stream.MaxBuffered())
+		extra := ""
+		if n := stream.Dropped(); n > 0 {
+			extra = fmt.Sprintf(", %d downsampled away", n)
+		}
+		fmt.Printf("\ntrace: %d events streamed -> %s (max %d buffered%s; open with https://ui.perfetto.dev)\n",
+			stream.Written(), *traceOut, stream.MaxBuffered(), extra)
 	}
 	if *promOut != "" {
 		f, err := os.Create(*promOut)

@@ -6,10 +6,15 @@
 //
 //	dptrace stats trace.json           # per-track span/cycle summary
 //	dptrace diff a.json b.json         # align two runs by epoch, report deltas
+//	dptrace lag trace.json             # pipeline fill/drain + commit-lag slope
 //	dptrace promlint metrics.prom      # check Prometheus text format
 //
 // diff exits 0 when the timelines agree, 3 when they diverge (the first
 // divergent epoch and per-epoch cycle deltas are printed either way).
+// lag replaces the by-eye Perfetto read-off of docs/OBSERVABILITY.md's F6
+// worked example: per pipeline track it reports verify occupancy and the
+// least-squares slope of commit lag over epoch index, plus the drain tail
+// after the last thread-parallel boundary.
 package main
 
 import (
@@ -24,6 +29,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   dptrace stats <trace.json>
   dptrace diff <a.json> <b.json>
+  dptrace lag <trace.json>
   dptrace promlint <metrics.prom>
 `)
 	os.Exit(2)
@@ -62,6 +68,21 @@ func main() {
 		rep.Render(os.Stdout)
 		if rep.FirstDivergent >= 0 {
 			os.Exit(3)
+		}
+	case "lag":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		reps := dptrace.Lag(parseTrace(os.Args[2]))
+		if len(reps) == 0 {
+			fmt.Fprintln(os.Stderr, "dptrace: no recording process with epoch.commit events in trace")
+			os.Exit(1)
+		}
+		for i, rep := range reps {
+			if i > 0 {
+				fmt.Println()
+			}
+			rep.Render(os.Stdout)
 		}
 	case "promlint":
 		if len(os.Args) != 3 {

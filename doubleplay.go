@@ -36,6 +36,7 @@
 package doubleplay
 
 import (
+	"context"
 	"io"
 
 	"doubleplay/internal/analyze"
@@ -46,6 +47,7 @@ import (
 	"doubleplay/internal/race"
 	"doubleplay/internal/replay"
 	"doubleplay/internal/sched"
+	"doubleplay/internal/server"
 	"doubleplay/internal/simos"
 	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
@@ -243,6 +245,47 @@ type VetFinding = analyze.Finding
 // know which programs can diverge, and FindRaces afterwards to confirm
 // which candidates are real. See cmd/dpvet for the CLI.
 func Vet(prog *Program) *VetReport { return analyze.Run(prog) }
+
+// RecordContext is Record with cooperative cancellation: the recording
+// stops at the first epoch boundary after ctx is done and returns an
+// error wrapping ctx.Err(). Simulated state is never left half-committed,
+// so cancellation latency is bounded by one epoch.
+func RecordContext(ctx context.Context, prog *Program, world *World, opt RecordOptions) (*RecordResult, error) {
+	opt.Context = ctx
+	return core.Record(prog, world, opt)
+}
+
+// RecordingCheckpoints rebuilds the epoch-start checkpoints of a stored
+// recording by replaying it once sequentially — recordings persist only
+// the logs, and parallel replay needs a starting state per epoch. The
+// returned boundaries feed [ReplayParallel] or, thinned with
+// [ThinCheckpoints], [ReplayParallelSparse].
+func RecordingCheckpoints(ctx context.Context, prog *Program, rec *Recording) ([]*Boundary, error) {
+	return replay.Checkpoints(ctx, prog, rec, nil)
+}
+
+// ThinCheckpoints keeps every stride-th boundary (always including the
+// first and last), the sparse set segment-parallel replay starts from.
+func ThinCheckpoints(bs []*Boundary, stride int) []*Boundary { return replay.Thin(bs, stride) }
+
+// JobServer is the record/replay daemon behind `doubleplay serve`: a
+// bounded job queue, a worker pool, a content-addressed artifact store,
+// and a JSON HTTP API (see docs/SERVER.md). Construct with
+// [NewJobServer], launch the pool with Start, mount Handler on an HTTP
+// listener, and drain with Shutdown.
+type JobServer = server.Server
+
+// JobServerConfig tunes a [JobServer].
+type JobServerConfig = server.Config
+
+// JobSpec is a job submission — the JSON body of POST /jobs.
+type JobSpec = server.Spec
+
+// JobInfo is the API view of a job's lifecycle and result.
+type JobInfo = server.Info
+
+// NewJobServer opens the artifact store and builds a job daemon.
+func NewJobServer(cfg JobServerConfig) (*JobServer, error) { return server.New(cfg) }
 
 // RaceReport is one detected data race.
 type RaceReport = race.Report

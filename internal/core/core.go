@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -83,6 +84,14 @@ type Options struct {
 
 	// MaxEpochs bounds the recording as a safety net.
 	MaxEpochs int
+
+	// Context, when non-nil, cancels the recording cooperatively: the
+	// control loop checks it at every epoch boundary and returns
+	// [ErrCanceled] (wrapping ctx.Err()) once it is done. Epoch
+	// boundaries are the natural cancellation points — simulated state is
+	// never left half-committed — so cancellation latency is bounded by
+	// one epoch's host execution time.
+	Context context.Context
 
 	// Trace, when set, receives the recording's event timeline:
 	// epoch/verify/commit spans, checkpoint create/restore, divergences and
@@ -417,6 +426,11 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 
 	epochLen := opt.EpochCycles
 	for !m.Done() {
+		if opt.Context != nil {
+			if err := opt.Context.Err(); err != nil {
+				return nil, fmt.Errorf("%w after %d epochs: %w", ErrCanceled, len(rec.Epochs), err)
+			}
+		}
 		if len(boundaries) > opt.MaxEpochs {
 			return nil, fmt.Errorf("core: exceeded %d epochs; runaway guest?", opt.MaxEpochs)
 		}
@@ -830,3 +844,9 @@ func RunNative(prog *vm.Program, world *simos.World, cpus int, seed int64, costs
 
 // ErrTooManyEpochs is returned when MaxEpochs is exceeded.
 var ErrTooManyEpochs = errors.New("core: too many epochs")
+
+// ErrCanceled is returned when Options.Context ends a recording at an
+// epoch boundary. errors.Is also matches the context's own error
+// (context.Canceled or context.DeadlineExceeded), which is how callers
+// distinguish an explicit cancel from a timeout.
+var ErrCanceled = errors.New("core: recording canceled")

@@ -424,3 +424,230 @@ func validMetricName(name string) bool {
 	}
 	return len(name) > 0
 }
+
+// CommitLag is one epoch's commit lag: how long after its thread-parallel
+// boundary the epoch-parallel pipeline committed it (the "lag" argument
+// the recorder attaches to every "epoch.commit" instant).
+type CommitLag struct {
+	Epoch int64
+	Ts    int64 // commit time
+	Lag   int64 // commit time - boundary time
+	Tid   int64 // pipeline track the commit retired on
+}
+
+// SlotLag summarizes one pipeline track: its epoch.verify occupancy and
+// the lag trend of the commits it retired.
+type SlotLag struct {
+	Tid      int64
+	Thread   string // thread_name metadata, if present
+	Verifies int
+	Busy     int64 // Σ epoch.verify span cycles
+	Span     int64 // first verify start .. last verify end
+	Commits  int
+	MaxLag   int64
+	Slope    float64 // least-squares lag growth, cycles per epoch
+}
+
+// Occupancy is the track's busy fraction over its active span.
+func (s *SlotLag) Occupancy() float64 {
+	if s.Span <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Span)
+}
+
+// LagReport quantifies the pipeline fill/drain behaviour of one recording
+// process — the read-off docs/OBSERVABILITY.md's F6 worked example does
+// by eye in Perfetto. A positive overall Slope means the pipeline cannot
+// keep up with boundary arrival (fill); Drain is the tail between the
+// last thread-parallel boundary and the last commit.
+type LagReport struct {
+	Pid     int64
+	Process string
+	Epochs  int   // "epoch" spans seen
+	Commits int   // "epoch.commit" instants seen
+	LastTP  int64 // end of the last thread-parallel epoch span
+	Done    int64 // "record.done" timestamp (or last commit when absent)
+	Drain   int64 // Done - LastTP, clamped at 0
+	MeanLag float64
+	MaxLag  int64
+	Slope   float64 // least-squares lag growth across all epochs
+	Slots   []SlotLag
+	Lags    []CommitLag // per-epoch series, sorted by epoch index
+}
+
+// slope fits lag = a + b*epoch by least squares and returns b; fewer than
+// two points have no trend.
+func slope(pts []CommitLag) float64 {
+	n := float64(len(pts))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x, y := float64(p.Epoch), float64(p.Lag)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// Lag extracts the pipeline-lag report for every recording process in a
+// trace (a process with at least one "epoch.commit" instant), sorted by
+// pid. Traces from dpbench sweeps hold many recordings; single-run traces
+// yield one report.
+func Lag(events []trace.Event) []*LagReport {
+	type slotAcc struct {
+		s        SlotLag
+		lags     []CommitLag
+		haveSpan bool
+		first    int64
+		last     int64
+	}
+	type acc struct {
+		rep   LagReport
+		slots map[int64]*slotAcc
+	}
+	procName := make(map[int64]string)
+	threadName := make(map[key]string)
+	byPid := make(map[int64]*acc)
+	get := func(pid int64) *acc {
+		a, ok := byPid[pid]
+		if !ok {
+			a = &acc{rep: LagReport{Pid: pid}, slots: make(map[int64]*slotAcc)}
+			byPid[pid] = a
+		}
+		return a
+	}
+	slot := func(a *acc, tid int64) *slotAcc {
+		sa, ok := a.slots[tid]
+		if !ok {
+			sa = &slotAcc{s: SlotLag{Tid: tid}}
+			a.slots[tid] = sa
+		}
+		return sa
+	}
+	for _, ev := range events {
+		switch {
+		case ev.Ph == trace.PhaseMeta:
+			if name, ok := ev.Args["name"].(string); ok {
+				switch ev.Name {
+				case "process_name":
+					procName[ev.Pid] = name
+				case "thread_name":
+					threadName[key{ev.Pid, ev.Tid}] = name
+				}
+			}
+		case ev.Name == "epoch" && ev.Ph == trace.PhaseComplete:
+			a := get(ev.Pid)
+			a.rep.Epochs++
+			if end := ev.Ts + ev.Dur; end > a.rep.LastTP {
+				a.rep.LastTP = end
+			}
+		case ev.Name == "epoch.verify" && ev.Ph == trace.PhaseComplete:
+			a := get(ev.Pid)
+			sa := slot(a, ev.Tid)
+			sa.s.Verifies++
+			sa.s.Busy += ev.Dur
+			if !sa.haveSpan || ev.Ts < sa.first {
+				sa.first = ev.Ts
+			}
+			if end := ev.Ts + ev.Dur; end > sa.last {
+				sa.last = end
+			}
+			sa.haveSpan = true
+		case ev.Name == "epoch.commit" && ev.Ph == trace.PhaseInstant:
+			idx, okIdx := argInt(ev.Args, "epoch")
+			lag, okLag := argInt(ev.Args, "lag")
+			if !okIdx || !okLag {
+				continue
+			}
+			a := get(ev.Pid)
+			cl := CommitLag{Epoch: idx, Ts: ev.Ts, Lag: lag, Tid: ev.Tid}
+			a.rep.Lags = append(a.rep.Lags, cl)
+			slot(a, ev.Tid).lags = append(slot(a, ev.Tid).lags, cl)
+		case ev.Name == "record.done" && ev.Ph == trace.PhaseInstant:
+			get(ev.Pid).rep.Done = ev.Ts
+		}
+	}
+
+	var out []*LagReport
+	for pid, a := range byPid {
+		rep := a.rep
+		rep.Commits = len(rep.Lags)
+		if rep.Commits == 0 {
+			continue // not a recording process
+		}
+		rep.Process = procName[pid]
+		sort.Slice(rep.Lags, func(i, j int) bool { return rep.Lags[i].Epoch < rep.Lags[j].Epoch })
+		var sum, lastCommit int64
+		for _, l := range rep.Lags {
+			sum += l.Lag
+			if l.Lag > rep.MaxLag {
+				rep.MaxLag = l.Lag
+			}
+			if l.Ts > lastCommit {
+				lastCommit = l.Ts
+			}
+		}
+		if rep.Done == 0 {
+			rep.Done = lastCommit
+		}
+		rep.MeanLag = float64(sum) / float64(rep.Commits)
+		rep.Slope = slope(rep.Lags)
+		if rep.Drain = rep.Done - rep.LastTP; rep.Drain < 0 {
+			rep.Drain = 0
+		}
+		for tid, sa := range a.slots {
+			sa.s.Thread = threadName[key{pid, tid}]
+			sa.s.Commits = len(sa.lags)
+			sa.s.Span = sa.last - sa.first
+			sa.s.Slope = slope(sa.lags)
+			for _, l := range sa.lags {
+				if l.Lag > sa.s.MaxLag {
+					sa.s.MaxLag = l.Lag
+				}
+			}
+			rep.Slots = append(rep.Slots, sa.s)
+		}
+		sort.Slice(rep.Slots, func(i, j int) bool { return rep.Slots[i].Tid < rep.Slots[j].Tid })
+		out = append(out, &rep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pid < out[j].Pid })
+	return out
+}
+
+// Render writes the lag report as aligned text with a fill/drain verdict.
+func (r *LagReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "process %d  %s\n", r.Pid, r.Process)
+	fmt.Fprintf(w, "epochs: %d  commits: %d  mean lag: %.0f  max lag: %d\n",
+		r.Epochs, r.Commits, r.MeanLag, r.MaxLag)
+	fmt.Fprintf(w, "lag slope: %+.1f cycles/epoch  last boundary: %d  done: %d  drain: %d cycles\n",
+		r.Slope, r.LastTP, r.Done, r.Drain)
+	switch {
+	case r.Slope > 1:
+		fmt.Fprintf(w, "verdict: pipeline FILLS — verification retires slower than boundaries arrive\n")
+	case r.Drain > 0 && r.Epochs > 0 && float64(r.Drain) > r.MeanLag:
+		fmt.Fprintf(w, "verdict: pipeline drains a tail after the guest finishes\n")
+	default:
+		fmt.Fprintf(w, "verdict: pipeline keeps up — lag is flat\n")
+	}
+	if len(r.Slots) > 0 {
+		fmt.Fprintf(w, "\n%-6s %-26s %8s %12s %10s %8s %12s %12s\n",
+			"tid", "track", "verifies", "busy-cycles", "occupancy", "commits", "max-lag", "slope")
+		for _, s := range r.Slots {
+			fmt.Fprintf(w, "%-6d %-26s %8d %12d %9.0f%% %8d %12d %+12.1f\n",
+				s.Tid, clip(s.Thread, 26), s.Verifies, s.Busy, 100*s.Occupancy(), s.Commits, s.MaxLag, s.Slope)
+		}
+	}
+	fmt.Fprintf(w, "\n%-6s %14s %14s\n", "epoch", "commit-ts", "lag")
+	for _, l := range r.Lags {
+		fmt.Fprintf(w, "%-6d %14d %14d\n", l.Epoch, l.Ts, l.Lag)
+	}
+}

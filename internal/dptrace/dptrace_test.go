@@ -159,3 +159,128 @@ func TestPromlintCatchesProblems(t *testing.T) {
 		}
 	}
 }
+
+// lagTrace builds a synthetic recording timeline shaped like the F6
+// worked example: boundaries arrive every 100 cycles, each verify takes
+// 250 cycles on one of two pipeline slots, so commit lag climbs linearly
+// and a drain tail follows the last boundary.
+func lagTrace() []trace.Event {
+	s := trace.NewSink()
+	pid := s.AllocPid("record synth")
+	s.NameThread(pid, 0, "epochs + recovery")
+	s.NameThread(pid, 1, "pipeline slot 0")
+	s.NameThread(pid, 2, "pipeline slot 1")
+	const n = 6
+	slotFree := [2]int64{0, 0}
+	var lastCommit int64
+	for i := 0; i < n; i++ {
+		bStart := int64(i) * 100
+		bEnd := bStart + 100
+		s.Span("epoch", bStart, 100, pid, 0, map[string]any{"epoch": i})
+		c := 0
+		if slotFree[1] < slotFree[0] {
+			c = 1
+		}
+		start := slotFree[c]
+		if start < bStart {
+			start = bStart
+		}
+		fin := start + 250
+		if fin < bEnd {
+			fin = bEnd
+		}
+		slotFree[c] = fin
+		tid := int64(1 + c)
+		s.Span("epoch.verify", start, fin-start, pid, tid, map[string]any{"epoch": i, "slot": c})
+		s.Instant("epoch.commit", fin, pid, tid, map[string]any{"epoch": i, "lag": fin - bEnd})
+		if fin > lastCommit {
+			lastCommit = fin
+		}
+	}
+	s.Instant("record.done", lastCommit, pid, 0, map[string]any{"epochs": n})
+	return s.Events()
+}
+
+func TestLagFillingPipeline(t *testing.T) {
+	reps := Lag(lagTrace())
+	if len(reps) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reps))
+	}
+	r := reps[0]
+	if r.Epochs != 6 || r.Commits != 6 {
+		t.Fatalf("epochs=%d commits=%d, want 6/6", r.Epochs, r.Commits)
+	}
+	// Two slots each retire a verify every 250 cycles while boundaries
+	// arrive every 100: lag grows by 250/2 - 100 = 25 cycles per epoch.
+	if r.Slope < 20 || r.Slope > 30 {
+		t.Fatalf("overall slope = %.1f, want ~25", r.Slope)
+	}
+	if r.LastTP != 600 {
+		t.Fatalf("LastTP = %d, want 600", r.LastTP)
+	}
+	if r.Done <= r.LastTP || r.Drain != r.Done-r.LastTP {
+		t.Fatalf("drain bookkeeping wrong: done=%d lastTP=%d drain=%d", r.Done, r.LastTP, r.Drain)
+	}
+	if len(r.Slots) != 2 {
+		t.Fatalf("got %d slots, want 2", len(r.Slots))
+	}
+	for _, sl := range r.Slots {
+		if sl.Verifies != 3 || sl.Commits != 3 {
+			t.Fatalf("slot %d: verifies=%d commits=%d, want 3/3", sl.Tid, sl.Verifies, sl.Commits)
+		}
+		if sl.Busy != 750 {
+			t.Fatalf("slot %d busy = %d, want 750", sl.Tid, sl.Busy)
+		}
+		if occ := sl.Occupancy(); occ <= 0.9 || occ > 1.0 {
+			t.Fatalf("slot %d occupancy = %.2f, want near 1", sl.Tid, occ)
+		}
+		if sl.Thread == "" {
+			t.Fatalf("slot %d missing thread name", sl.Tid)
+		}
+	}
+	// The per-epoch series must be sorted and strictly increasing in lag.
+	for i := 1; i < len(r.Lags); i++ {
+		if r.Lags[i].Epoch != r.Lags[i-1].Epoch+1 {
+			t.Fatalf("lag series not sorted by epoch: %+v", r.Lags)
+		}
+		if r.Lags[i].Lag < r.Lags[i-1].Lag {
+			t.Fatalf("filling pipeline should have non-decreasing lag: %+v", r.Lags)
+		}
+	}
+	if r.Lags[len(r.Lags)-1].Lag <= r.Lags[0].Lag {
+		t.Fatalf("filling pipeline should grow lag overall: %+v", r.Lags)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "FILLS") {
+		t.Fatalf("render verdict missing FILLS:\n%s", buf.String())
+	}
+}
+
+func TestLagKeepingUpAndNoCommits(t *testing.T) {
+	s := trace.NewSink()
+	pid := s.AllocPid("record flat")
+	for i := 0; i < 4; i++ {
+		bStart := int64(i) * 100
+		s.Span("epoch", bStart, 100, pid, 0, map[string]any{"epoch": i})
+		s.Instant("epoch.commit", bStart+150, pid, 1, map[string]any{"epoch": i, "lag": 50})
+	}
+	reps := Lag(s.Events())
+	if len(reps) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reps))
+	}
+	if reps[0].Slope != 0 {
+		t.Fatalf("flat lag slope = %.2f, want 0", reps[0].Slope)
+	}
+	// record.done absent: Done falls back to the last commit.
+	if reps[0].Done != 450 {
+		t.Fatalf("Done = %d, want 450", reps[0].Done)
+	}
+	// A guest-only process (no commits) yields no report.
+	g := trace.NewSink()
+	gp := g.AllocPid("guest only")
+	g.Span("run", 0, 10, gp, 0, nil)
+	if got := Lag(g.Events()); len(got) != 0 {
+		t.Fatalf("guest-only trace produced %d reports", len(got))
+	}
+}

@@ -15,6 +15,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -68,11 +69,32 @@ func runEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel, buf *trace
 	return epochCost(uni.Cycles, inj.Injected, costs), nil
 }
 
+// ctxErr reports a context's error once it is done; a nil context never
+// cancels. Replay checks it at epoch boundaries, mirroring the recorder's
+// cancellation points (core.Options.Context).
+func ctxErr(ctx context.Context, epoch int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("replay: canceled at epoch %d: %w", epoch, err)
+	}
+	return nil
+}
+
 // Sequential replays the recording epoch by epoch on one simulated CPU,
 // starting from program reset. It verifies every epoch boundary hash and
 // the final hash. A non-nil sink receives one "replay.epoch" span per
 // epoch with the followed timeslices nested inside.
 func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
+	return SequentialCtx(nil, prog, rec, costs, sink)
+}
+
+// SequentialCtx is Sequential with cooperative cancellation: the context
+// is checked before each epoch, so a canceled or deadline-expired context
+// ends the replay with the context's error wrapped. A nil context never
+// cancels.
+func SequentialCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -84,6 +106,9 @@ func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sin
 	m := vm.NewMachine(prog, nil, costs)
 	res := &Result{}
 	for _, ep := range rec.Epochs {
+		if err := ctxErr(ctx, ep.Index); err != nil {
+			return nil, err
+		}
 		if h := m.StateHash(); h != ep.StartHash {
 			return nil, fmt.Errorf("replay: epoch %d: start state hash %016x != recorded %016x",
 				ep.Index, h, ep.StartHash)
@@ -119,6 +144,14 @@ func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sin
 // receives one "replay.epoch" span per epoch at its packed position, on a
 // track per modelled core.
 func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
+	return ParallelCtx(nil, prog, rec, boundaries, cpus, costs, sink)
+}
+
+// ParallelCtx is Parallel with cooperative cancellation: each epoch's
+// worker checks the context before restoring its checkpoint, so a
+// canceled context stops the fan-out promptly. A nil context never
+// cancels.
+func ParallelCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -147,6 +180,9 @@ func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Bounda
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if errs[i] = ctxErr(ctx, ep.Index); errs[i] != nil {
+				return
+			}
 			m := boundaries[i].CP.Restore(prog, nil, costs)
 			durs[i], errs[i] = runEpoch(m, ep, costs, bufs[i])
 		}(i, ep)
@@ -215,6 +251,13 @@ func pack(durs []int64, cpus int) ([]packSlot, int64) {
 // per segment at its packed position, with the segment's "replay.epoch"
 // spans and timeslices nested inside.
 func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
+	return ParallelSparseCtx(nil, prog, rec, sparse, cpus, costs, sink)
+}
+
+// ParallelSparseCtx is ParallelSparse with cooperative cancellation,
+// checked before each epoch within every segment. A nil context never
+// cancels.
+func ParallelSparseCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -267,6 +310,9 @@ func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boun
 			segbuf := bufs[i]
 			m := sg.start.CP.Restore(prog, nil, costs)
 			for _, ep := range sg.epochs {
+				if errs[i] = ctxErr(ctx, ep.Index); errs[i] != nil {
+					return
+				}
 				if h := m.StateHash(); h != ep.StartHash {
 					errs[i] = fmt.Errorf("replay: epoch %d: segment state %016x != recorded start %016x",
 						ep.Index, h, ep.StartHash)
@@ -311,4 +357,73 @@ func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boun
 		}
 	}
 	return &Result{Cycles: wall, FinalHash: rec.FinalHash, Epochs: len(rec.Epochs)}, nil
+}
+
+// Checkpoints reconstructs the epoch-start boundaries of a recording by
+// replaying it sequentially and capturing a machine checkpoint at each
+// epoch start. It returns len(rec.Epochs)+1 boundaries (one per epoch
+// start plus the final state), verifying every start hash along the way,
+// so the result is valid input for [Parallel] and — thinned with [Thin] —
+// [ParallelSparse].
+//
+// This is what lets a recording artifact loaded from disk be replayed in
+// parallel: the original recording process held the checkpoints in
+// memory, but a stored dplog carries only the logs, and one sequential
+// pass rebuilds the rest. The boundaries' World is nil — parallel replay
+// injects recorded syscall results and never consults a simulated OS.
+func Checkpoints(ctx context.Context, prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel) ([]*epoch.Boundary, error) {
+	if costs == nil {
+		costs = vm.DefaultCosts()
+	}
+	m := vm.NewMachine(prog, nil, costs)
+	out := make([]*epoch.Boundary, 0, len(rec.Epochs)+1)
+	var cycles int64
+	for _, ep := range rec.Epochs {
+		if err := ctxErr(ctx, ep.Index); err != nil {
+			return nil, err
+		}
+		if h := m.StateHash(); h != ep.StartHash {
+			return nil, fmt.Errorf("replay: checkpoints: epoch %d start hash %016x != recorded %016x",
+				ep.Index, h, ep.StartHash)
+		}
+		out = append(out, &epoch.Boundary{
+			Index:       ep.Index,
+			Cycle:       cycles,
+			CP:          m.Checkpoint(),
+			Hash:        ep.StartHash,
+			MappedPages: m.Mem.PageCount(),
+		})
+		c, err := runEpoch(m, ep, costs, nil)
+		if err != nil {
+			return nil, err
+		}
+		cycles += c
+	}
+	if h := m.StateHash(); h != rec.FinalHash {
+		return nil, fmt.Errorf("replay: checkpoints: final hash %016x != recorded %016x", h, rec.FinalHash)
+	}
+	out = append(out, &epoch.Boundary{
+		Index:       len(rec.Epochs),
+		Cycle:       cycles,
+		CP:          m.Checkpoint(),
+		Hash:        rec.FinalHash,
+		MappedPages: m.Mem.PageCount(),
+	})
+	return out, nil
+}
+
+// Thin returns every stride-th boundary, always keeping the first and
+// last — the same thinning core.Result.ThinBoundaries applies to live
+// checkpoints, usable on the reconstructed set from [Checkpoints].
+func Thin(bs []*epoch.Boundary, stride int) []*epoch.Boundary {
+	if stride <= 1 {
+		return bs
+	}
+	var out []*epoch.Boundary
+	for i, b := range bs {
+		if i%stride == 0 || i == len(bs)-1 {
+			out = append(out, b)
+		}
+	}
+	return out
 }

@@ -1,0 +1,257 @@
+// Package server is the long-running face of the reproduction: a
+// job-oriented record/replay daemon (`doubleplay serve`). Clients submit
+// record, replay, and verify jobs over a JSON HTTP API; jobs wait in a
+// bounded FIFO queue, run on a fixed worker pool with per-job timeouts
+// and cancellation threaded into core.Record and the replay strategies,
+// and leave durable artifacts — the dplog-marshalled recording in a
+// content-addressed blob store, a streamed Chrome trace, and a stats
+// JSON — that later jobs can reference by id (replay-by-id). The daemon
+// exposes queue, pool, and per-job metrics on a shared trace.Registry at
+// /metrics and drains gracefully on shutdown.
+//
+// The shape follows what record/replay systems grow into in production:
+// recordings are durable, shareable artifacts replayed later and
+// elsewhere (rr's ecosystem), and many recordings run concurrently
+// through one service. docs/SERVER.md documents the API schema, the job
+// lifecycle, and the metrics series.
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"doubleplay/internal/workloads"
+)
+
+// Kind is a job's flavour.
+type Kind string
+
+const (
+	// KindRecord performs a uniparallel recording and stores the
+	// resulting replay log as a content-addressed artifact.
+	KindRecord Kind = "record"
+	// KindReplay replays a stored recording referenced by job id, in
+	// sequential, parallel, or sparse mode.
+	KindReplay Kind = "replay"
+	// KindVerify records and then replays in memory, checking every
+	// boundary hash and the guest self-check — the service form of
+	// `doubleplay verify`.
+	KindVerify Kind = "verify"
+)
+
+// State is a job's position in its lifecycle. Transitions are strictly
+// queued -> running -> {done, failed, canceled}, or queued -> canceled
+// when a job is canceled (or the daemon drains) before a worker picks it
+// up.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// ReplayMode selects a replay job's strategy.
+const (
+	ModeSequential = "sequential"
+	ModeParallel   = "parallel"
+	ModeSparse     = "sparse"
+)
+
+// Spec is the client-supplied description of a job — the JSON body of
+// POST /jobs. Zero fields take server defaults (Normalize).
+type Spec struct {
+	Kind Kind `json:"kind"`
+
+	// Workload names a builtin benchmark. Required for record and verify
+	// jobs; replay jobs default it (and Workers, Scale, Seed) from the
+	// referenced recording's header.
+	Workload string `json:"workload,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	Spares   int    `json:"spares,omitempty"`
+	Scale    int    `json:"scale,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+
+	// EpochCycles and Growth tune the recorder (record/verify jobs).
+	EpochCycles int64   `json:"epoch_cycles,omitempty"`
+	Growth      float64 `json:"growth,omitempty"`
+	DetectRaces bool    `json:"detect_races,omitempty"`
+
+	// Mode selects the replay strategy for replay jobs (and, when set to
+	// "parallel", adds a parallel replay to verify jobs). Stride thins
+	// checkpoints for sparse replay.
+	Mode   string `json:"mode,omitempty"`
+	Stride int    `json:"stride,omitempty"`
+
+	// RecordingJob references the record (or verify) job whose stored
+	// recording a replay job reproduces. The referenced job must have
+	// finished before the replay job runs.
+	RecordingJob string `json:"recording_job,omitempty"`
+
+	// TimeoutMS bounds the job's host execution time; 0 uses the server
+	// default. The timeout cancels the job cooperatively at the next
+	// epoch boundary.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// TraceWindow overrides the streamed trace's reorder window;
+	// TraceMinSpan/TraceCounterStride enable downsampling (see
+	// trace.StreamSink.Downsample).
+	TraceWindow        int   `json:"trace_window,omitempty"`
+	TraceMinSpan       int64 `json:"trace_min_span,omitempty"`
+	TraceCounterStride int   `json:"trace_counter_stride,omitempty"`
+}
+
+// Normalize fills defaults in place.
+func (sp *Spec) Normalize() {
+	if sp.Workers <= 0 {
+		sp.Workers = 2
+	}
+	if sp.Spares <= 0 {
+		sp.Spares = sp.Workers
+	}
+	if sp.Scale <= 0 {
+		sp.Scale = 1
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 11
+	}
+	if sp.Growth < 1 {
+		sp.Growth = 1
+	}
+	if sp.Mode == "" && (sp.Kind == KindReplay || sp.Kind == KindVerify) {
+		sp.Mode = ModeSequential
+	}
+}
+
+// Validate rejects malformed specs at submission time. jobExists answers
+// whether a referenced recording job is known (any state — completion is
+// checked again when the replay actually runs).
+func (sp *Spec) Validate(jobExists func(id string) bool) error {
+	switch sp.Kind {
+	case KindRecord, KindVerify:
+		if sp.Workload == "" {
+			return fmt.Errorf("%s job requires a workload", sp.Kind)
+		}
+		if workloads.Get(sp.Workload) == nil {
+			return fmt.Errorf("unknown workload %q", sp.Workload)
+		}
+	case KindReplay:
+		if sp.RecordingJob == "" {
+			return fmt.Errorf("replay job requires recording_job (the id of a finished record job)")
+		}
+		if jobExists != nil && !jobExists(sp.RecordingJob) {
+			return fmt.Errorf("recording_job %q is not a known job", sp.RecordingJob)
+		}
+		if sp.Workload != "" && workloads.Get(sp.Workload) == nil {
+			return fmt.Errorf("unknown workload %q", sp.Workload)
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (want record, replay, or verify)", sp.Kind)
+	}
+	switch sp.Mode {
+	case "", ModeSequential, ModeParallel, ModeSparse:
+	default:
+		return fmt.Errorf("unknown replay mode %q (want sequential, parallel, or sparse)", sp.Mode)
+	}
+	if sp.Mode == ModeSparse && sp.Stride < 2 {
+		return fmt.Errorf("sparse replay requires stride >= 2")
+	}
+	if sp.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	return nil
+}
+
+// ResultSummary is the outcome a finished job reports inline (the full
+// stats live in the stats.json artifact).
+type ResultSummary struct {
+	Epochs      int    `json:"epochs"`
+	Cycles      int64  `json:"cycles"`
+	FinalHash   string `json:"final_hash"`
+	Divergences int    `json:"divergences,omitempty"`
+	ReplayBytes int    `json:"replay_bytes,omitempty"`
+	Races       int    `json:"races,omitempty"`
+	Recording   string `json:"recording,omitempty"` // blob digest
+	TraceEvents int    `json:"trace_events,omitempty"`
+	TraceDrops  int    `json:"trace_dropped,omitempty"`
+}
+
+// Job is one unit of work and its full lifecycle record. The server's
+// mutex guards every mutable field.
+type Job struct {
+	ID       string
+	Seq      int
+	Spec     Spec
+	State    State
+	Error    string
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	Result   *ResultSummary
+
+	// cancel aborts the running job's context; cancelRequested
+	// distinguishes an explicit DELETE from a timeout.
+	cancel          func()
+	cancelRequested bool
+}
+
+// Info is the JSON view of a job served by the API.
+type Info struct {
+	ID       string            `json:"id"`
+	Kind     Kind              `json:"kind"`
+	State    State             `json:"state"`
+	Spec     Spec              `json:"spec"`
+	Error    string            `json:"error,omitempty"`
+	Created  time.Time         `json:"created"`
+	Started  *time.Time        `json:"started,omitempty"`
+	Finished *time.Time        `json:"finished,omitempty"`
+	Result   *ResultSummary    `json:"result,omitempty"`
+	Links    map[string]string `json:"links,omitempty"`
+}
+
+// info snapshots a job for the API; the caller holds the server mutex.
+func (j *Job) info() Info {
+	in := Info{
+		ID:      j.ID,
+		Kind:    j.Spec.Kind,
+		State:   j.State,
+		Spec:    j.Spec,
+		Error:   j.Error,
+		Created: j.Created,
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		in.Started = &t
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		in.Finished = &t
+	}
+	if j.Result != nil {
+		r := *j.Result
+		in.Result = &r
+	}
+	base := "/jobs/" + j.ID
+	in.Links = map[string]string{"self": base, "trace": base + "/trace", "stats": base + "/stats"}
+	if j.Spec.Kind != KindReplay {
+		in.Links["recording"] = base + "/recording"
+	}
+	return in
+}
+
+// shortErr trims multi-line error text for the inline Error field.
+func shortErr(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

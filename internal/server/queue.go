@@ -1,0 +1,109 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Push when the queue is at capacity; the
+// HTTP layer translates it into 429 Too Many Requests.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrQueueClosed is returned by Push once the daemon is draining.
+var ErrQueueClosed = errors.New("server: job queue closed")
+
+// Queue is a bounded FIFO of jobs feeding the worker pool. Push rejects
+// instead of blocking — backpressure is the point — while Pop blocks
+// until a job arrives or the queue closes. Closing wakes every waiting
+// worker; jobs still queued at close time are returned by Drain so the
+// server can mark them canceled.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job
+	max    int
+	closed bool
+}
+
+// NewQueue returns an empty queue holding at most max jobs; max <= 0
+// selects an effectively unbounded queue.
+func NewQueue(max int) *Queue {
+	if max <= 0 {
+		max = 1 << 30
+	}
+	q := &Queue{max: max}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends a job, failing fast when full or closed.
+func (q *Queue) Push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if len(q.items) >= q.max {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return nil
+}
+
+// Pop removes the oldest job, blocking until one is available. ok is
+// false once the queue is closed and empty.
+func (q *Queue) Pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j = q.items[0]
+	q.items = q.items[1:]
+	return j, true
+}
+
+// Remove deletes a queued job by id (cancellation before a worker takes
+// it), reporting whether it was present.
+func (q *Queue) Remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.items {
+		if j.ID == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the current queue depth.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close stops the queue: subsequent Push fails, and blocked Pops return
+// once the remaining items are consumed. Close is idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Drain removes and returns every queued job — used at shutdown to mark
+// never-started jobs canceled. Callers should Close first so no worker
+// races the drain.
+func (q *Queue) Drain() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.items
+	q.items = nil
+	return out
+}

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"doubleplay/internal/core"
+	"doubleplay/internal/dplog"
+	"doubleplay/internal/epoch"
+	"doubleplay/internal/replay"
+	"doubleplay/internal/trace"
+	"doubleplay/internal/workloads"
+)
+
+// jobTrace is the per-job streamed trace: every job narrates its timeline
+// into trace.json in its artifact directory through a bounded-window
+// StreamSink, exactly the file `doubleplay record -trace` would produce.
+type jobTrace struct {
+	f    *os.File
+	sink *trace.StreamSink
+}
+
+// openJobTrace creates a job's trace stream, honouring the spec's window
+// and downsampling settings.
+func (s *Server) openJobTrace(id string, sp Spec) (*jobTrace, error) {
+	dir, err := s.store.JobDir(id)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(dir + "/trace.json")
+	if err != nil {
+		return nil, err
+	}
+	sink := trace.NewStreamSink(f, sp.TraceWindow)
+	if sp.TraceMinSpan > 0 || sp.TraceCounterStride > 1 {
+		sink.Downsample(sp.TraceMinSpan, sp.TraceCounterStride)
+	}
+	return &jobTrace{f: f, sink: sink}, nil
+}
+
+// close finishes the trace document and reports stream totals into the
+// summary. Artifacts must be complete before the job turns terminal, so
+// runJob calls this on every path.
+func (t *jobTrace) close(sum *ResultSummary) error {
+	if t == nil {
+		return nil
+	}
+	err := t.sink.Close()
+	if sum != nil {
+		sum.TraceEvents = t.sink.Written()
+		sum.TraceDrops = t.sink.Dropped()
+	}
+	if cerr := t.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// buildWorkload instantiates the spec's benchmark.
+func buildWorkload(sp Spec) (*workloads.Built, error) {
+	wl := workloads.Get(sp.Workload)
+	if wl == nil {
+		return nil, fmt.Errorf("unknown workload %q", sp.Workload)
+	}
+	return wl.Build(workloads.Params{Workers: sp.Workers, Scale: sp.Scale, Seed: sp.Seed}), nil
+}
+
+// writeStats stores the job's stats.json artifact.
+func (s *Server) writeStats(id string, v any) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return err
+	}
+	return s.store.WriteJobArtifact(id, "stats.json", buf.Bytes())
+}
+
+// record runs the recording half shared by record and verify jobs,
+// stores the recording blob, and fills the summary.
+func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Recorder, sum *ResultSummary) (*core.Result, *workloads.Built, error) {
+	bt, err := buildWorkload(sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.Record(bt.Prog, bt.World, core.Options{
+		Workers:     sp.Workers,
+		RecordCPUs:  sp.Workers,
+		SpareCPUs:   sp.Spares,
+		EpochCycles: sp.EpochCycles,
+		EpochGrowth: sp.Growth,
+		Seed:        sp.Seed,
+		DetectRaces: sp.DetectRaces,
+		Trace:       sink,
+		Metrics:     s.reg,
+		Context:     ctx,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	digest, err := s.store.PutBlob(dplog.MarshalBytes(res.Recording))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.store.SetRecordingRef(id, digest); err != nil {
+		return nil, nil, err
+	}
+	sum.Recording = digest
+	sum.Epochs = res.Stats.Epochs
+	sum.Cycles = res.Stats.CompletionCycles
+	sum.FinalHash = fmt.Sprintf("%016x", res.FinalHash)
+	sum.Divergences = res.Stats.Divergences
+	sum.ReplayBytes = res.Stats.ReplayBytes
+	sum.Races = len(res.Races)
+	return res, bt, nil
+}
+
+// loadRecording resolves a replay job's source recording and defaults the
+// spec's workload parameters from its header so a minimal
+// {"kind":"replay","recording_job":...} body replays faithfully.
+func (s *Server) loadRecording(sp *Spec) (*dplog.Recording, error) {
+	src, ok := s.getJob(sp.RecordingJob)
+	if !ok {
+		return nil, fmt.Errorf("recording_job %q is not a known job", sp.RecordingJob)
+	}
+	srcState, srcScale := s.jobStateScale(src)
+	if srcState != StateDone {
+		return nil, fmt.Errorf("recording_job %s is %s, not done — submit replays after the recording finishes", sp.RecordingJob, srcState)
+	}
+	data, err := s.store.ReadRecording(sp.RecordingJob)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := dplog.Unmarshal(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("corrupt recording artifact for job %s: %w", sp.RecordingJob, err)
+	}
+	if sp.Workload == "" {
+		sp.Workload = rec.Program
+	}
+	if rec.Workers > 0 {
+		sp.Workers = rec.Workers
+	}
+	if rec.Seed != 0 {
+		sp.Seed = rec.Seed
+	}
+	if srcScale > 0 {
+		sp.Scale = srcScale
+	}
+	return rec, nil
+}
+
+// replayJob replays a stored recording in the requested mode. Parallel
+// and sparse modes first rebuild the epoch-start checkpoints from the
+// log (replay.Checkpoints) — the artifact carries only the logs.
+func (s *Server) replayJob(ctx context.Context, id string, sp *Spec, sink trace.Recorder, sum *ResultSummary) error {
+	rec, err := s.loadRecording(sp)
+	if err != nil {
+		return err
+	}
+	bt, err := buildWorkload(*sp)
+	if err != nil {
+		return err
+	}
+	var rep *replay.Result
+	switch sp.Mode {
+	case ModeSequential:
+		rep, err = replay.SequentialCtx(ctx, bt.Prog, rec, nil, sink)
+	case ModeParallel, ModeSparse:
+		var bs []*epoch.Boundary
+		bs, err = replay.Checkpoints(ctx, bt.Prog, rec, nil)
+		if err != nil {
+			break
+		}
+		if sp.Mode == ModeSparse {
+			rep, err = replay.ParallelSparseCtx(ctx, bt.Prog, rec, replay.Thin(bs, sp.Stride), sp.Workers, nil, sink)
+		} else {
+			rep, err = replay.ParallelCtx(ctx, bt.Prog, rec, bs, sp.Workers, nil, sink)
+		}
+	default:
+		return fmt.Errorf("unknown replay mode %q", sp.Mode)
+	}
+	if err != nil {
+		return err
+	}
+	sum.Epochs = rep.Epochs
+	sum.Cycles = rep.Cycles
+	sum.FinalHash = fmt.Sprintf("%016x", rep.FinalHash)
+	return s.writeStats(id, rep)
+}
+
+// verifyJob is the in-memory round trip: record, replay sequentially
+// (and in parallel when mode asks), and run the guest self-check.
+func (s *Server) verifyJob(ctx context.Context, id string, sp Spec, sink trace.Recorder, sum *ResultSummary) error {
+	res, bt, err := s.record(ctx, id, sp, sink, sum)
+	if err != nil {
+		return err
+	}
+	defer res.ReleaseCheckpoints()
+	if _, err := replay.SequentialCtx(ctx, bt.Prog, res.Recording, nil, sink); err != nil {
+		return fmt.Errorf("sequential replay: %w", err)
+	}
+	if sp.Mode == ModeParallel {
+		if _, err := replay.ParallelCtx(ctx, bt.Prog, res.Recording, res.Boundaries, sp.Workers, nil, sink); err != nil {
+			return fmt.Errorf("parallel replay: %w", err)
+		}
+	}
+	last := res.Boundaries[len(res.Boundaries)-1]
+	if err := bt.CheckOK(last.CP.MemSnap.Peek); err != nil {
+		return fmt.Errorf("guest self-check: %w", err)
+	}
+	return s.writeStats(id, res.Stats)
+}
+
+// runJob executes one job end to end on a private copy of its spec: open
+// the trace stream, dispatch on kind, flush artifacts. It returns the
+// possibly-defaulted spec for republication and the job's terminal error
+// (nil for done). Artifact flushing happens on every path, so even failed
+// and canceled jobs leave a parseable trace behind.
+func (s *Server) runJob(ctx context.Context, id string, sp Spec, sum *ResultSummary) (Spec, error) {
+	jt, err := s.openJobTrace(id, sp)
+	if err != nil {
+		return sp, err
+	}
+	switch sp.Kind {
+	case KindRecord:
+		res, _, rerr := s.record(ctx, id, sp, jt.sink, sum)
+		if rerr == nil {
+			res.ReleaseCheckpoints()
+			rerr = s.writeStats(id, res.Stats)
+		}
+		err = rerr
+	case KindReplay:
+		err = s.replayJob(ctx, id, &sp, jt.sink, sum)
+	case KindVerify:
+		err = s.verifyJob(ctx, id, sp, jt.sink, sum)
+	default:
+		err = fmt.Errorf("unknown job kind %q", sp.Kind)
+	}
+	if cerr := jt.close(sum); err == nil && cerr != nil {
+		err = fmt.Errorf("flushing trace: %w", cerr)
+	}
+	return sp, err
+}

@@ -1,0 +1,533 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"doubleplay/internal/trace"
+)
+
+// ErrDraining is returned by Submit once Shutdown has begun; the HTTP
+// layer translates it into 503 Service Unavailable.
+var ErrDraining = errors.New("server: draining, not accepting jobs")
+
+// Config tunes the daemon.
+type Config struct {
+	// DataDir roots the artifact store (blobs + per-job directories).
+	DataDir string
+
+	// Workers is the worker-pool size — how many jobs run concurrently.
+	Workers int
+
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected with 429.
+	QueueDepth int
+
+	// JobTimeout bounds each job's host execution time unless its spec
+	// sets timeout_ms. Zero means no default timeout.
+	JobTimeout time.Duration
+
+	// DrainTimeout is how long Shutdown waits for in-flight jobs to finish
+	// before canceling them.
+	DrainTimeout time.Duration
+
+	// Registry receives queue, pool, and per-run metrics; nil allocates a
+	// private one.
+	Registry *trace.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = trace.NewRegistry()
+	}
+	return c
+}
+
+// Server is the record/replay job daemon: a bounded queue feeding a fixed
+// worker pool, an artifact store, and the HTTP API over both.
+type Server struct {
+	cfg   Config
+	store *Store
+	queue *Queue
+	reg   *trace.Registry
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []*Job // submission order, for GET /jobs
+	seq      int
+	busy     int
+	draining bool
+
+	wg sync.WaitGroup // worker goroutines
+}
+
+// New builds a Server; call Start to launch its worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	st, err := OpenStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: st,
+		queue: NewQueue(cfg.QueueDepth),
+		reg:   cfg.Registry,
+		jobs:  make(map[string]*Job),
+	}
+	s.reg.Set("serve.queue_depth", 0)
+	s.reg.Set("serve.workers_busy", 0)
+	s.reg.Set("serve.workers_total", float64(cfg.Workers))
+	return s, nil
+}
+
+// Store exposes the artifact store (tests and the CLI peek at it).
+func (s *Server) Store() *Store { return s.store }
+
+// Registry exposes the metrics registry the daemon reports into.
+func (s *Server) Registry() *trace.Registry { return s.reg }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.worker()
+		}()
+	}
+}
+
+// jobID derives a short stable id from the spec and submission sequence.
+func jobID(sp Spec, seq int) string {
+	b, _ := json.Marshal(sp)
+	sum := sha256.Sum256(append(b, byte(seq), byte(seq>>8), byte(seq>>16), byte(seq>>24)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Submit validates, registers, and enqueues a job.
+func (s *Server) Submit(sp Spec) (Info, error) {
+	sp.Normalize()
+	if err := sp.Validate(func(id string) bool {
+		_, ok := s.getJob(id)
+		return ok
+	}); err != nil {
+		return Info{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return Info{}, ErrDraining
+	}
+	s.seq++
+	j := &Job{
+		ID:      jobID(sp, s.seq),
+		Seq:     s.seq,
+		Spec:    sp,
+		State:   StateQueued,
+		Created: time.Now(),
+	}
+	if err := s.queue.Push(j); err != nil {
+		s.reg.Add("serve.jobs_rejected", 1)
+		return Info{}, err
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	s.reg.Add("serve.jobs_submitted", 1, trace.Label("kind", string(sp.Kind)))
+	s.reg.Set("serve.queue_depth", float64(s.queue.Len()))
+	s.stateGaugesLocked()
+	return j.info(), nil
+}
+
+// getJob looks a job up by id.
+func (s *Server) getJob(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// jobStateScale snapshots the fields loadRecording needs from a source
+// job without holding the lock across the whole replay setup.
+func (s *Server) jobStateScale(j *Job) (State, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.State, j.Spec.Scale
+}
+
+// jobInfo snapshots a job's API view.
+func (s *Server) jobInfo(j *Job) Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.info()
+}
+
+// jobState reads a job's current state.
+func (s *Server) jobState(j *Job) State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.State
+}
+
+// stateGaugesLocked republishes the jobs-by-state gauges; the caller
+// holds s.mu.
+func (s *Server) stateGaugesLocked() {
+	counts := map[State]int{}
+	for _, j := range s.jobs {
+		counts[j.State]++
+	}
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		s.reg.Set("serve.jobs", float64(counts[st]), trace.Label("state", string(st)))
+	}
+}
+
+// worker is one pool goroutine: pop, run, publish, repeat until the
+// queue closes.
+func (s *Server) worker() {
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.reg.Set("serve.queue_depth", float64(s.queue.Len()))
+
+		s.mu.Lock()
+		if j.State != StateQueued { // canceled while queued
+			s.mu.Unlock()
+			continue
+		}
+		j.State = StateRunning
+		j.Started = time.Now()
+		sp := j.Spec
+		timeout := time.Duration(sp.TimeoutMS) * time.Millisecond
+		if timeout <= 0 {
+			timeout = s.cfg.JobTimeout
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(context.Background(), timeout)
+		}
+		j.cancel = cancel
+		s.busy++
+		s.reg.Set("serve.workers_busy", float64(s.busy))
+		s.stateGaugesLocked()
+		s.mu.Unlock()
+
+		sum := &ResultSummary{}
+		spOut, err := s.runJob(ctx, j.ID, sp, sum)
+		cancel()
+		s.finish(j, spOut, sum, err, ctx)
+	}
+}
+
+// finish moves a job to its terminal state, publishes the (possibly
+// defaulted) spec and result, writes the job.json manifest, and updates
+// the pool metrics.
+func (s *Server) finish(j *Job, sp Spec, sum *ResultSummary, err error, ctx context.Context) {
+	s.mu.Lock()
+	j.Spec = sp
+	j.Finished = time.Now()
+	j.Result = sum
+	switch {
+	case err == nil:
+		j.State = StateDone
+	case j.cancelRequested:
+		j.State = StateCanceled
+		j.Error = shortErr(err)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		j.State = StateFailed
+		j.Error = fmt.Sprintf("timed out: %s", shortErr(err))
+	default:
+		j.State = StateFailed
+		j.Error = shortErr(err)
+	}
+	s.busy--
+	s.reg.Set("serve.workers_busy", float64(s.busy))
+	s.stateGaugesLocked()
+	kind := trace.Label("kind", string(j.Spec.Kind))
+	s.reg.Add("serve.jobs_completed", 1, trace.Label("outcome", string(j.State)))
+	s.reg.Observe("serve.job_queue_ms", j.Started.Sub(j.Created).Milliseconds(), kind)
+	s.reg.Observe("serve.job_run_ms", j.Finished.Sub(j.Started).Milliseconds(), kind)
+	info := j.info()
+	s.mu.Unlock()
+
+	if b, merr := json.MarshalIndent(info, "", "  "); merr == nil {
+		_ = s.store.WriteJobArtifact(j.ID, "job.json", b)
+	}
+}
+
+// Cancel cancels a job: a queued job is removed from the queue and turns
+// canceled immediately; a running job gets its context canceled and turns
+// canceled when the worker observes it (at the next epoch boundary).
+// Canceling a terminal job is a no-op. The bool reports whether the job
+// exists.
+func (s *Server) Cancel(id string) (Info, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Info{}, false
+	}
+	switch j.State {
+	case StateQueued:
+		if s.queue.Remove(id) {
+			j.State = StateCanceled
+			j.Finished = time.Now()
+			j.Error = "canceled before start"
+			s.reg.Set("serve.queue_depth", float64(s.queue.Len()))
+			s.reg.Add("serve.jobs_completed", 1, trace.Label("outcome", string(StateCanceled)))
+			s.stateGaugesLocked()
+			info := j.info()
+			s.mu.Unlock()
+			if b, err := json.MarshalIndent(info, "", "  "); err == nil {
+				_ = s.store.WriteJobArtifact(j.ID, "job.json", b)
+			}
+			return info, true
+		}
+		// A worker grabbed it between our state read and the Remove; fall
+		// through to the running path.
+		fallthrough
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	info := j.info()
+	s.mu.Unlock()
+	return info, true
+}
+
+// Shutdown drains the daemon: stop accepting submissions, cancel
+// everything still queued, let running jobs finish within
+// Config.DrainTimeout (or ctx, whichever ends first), then cancel
+// stragglers and wait for the pool to exit. Artifacts of every started
+// job are flushed before Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	s.queue.Close()
+	dropped := s.queue.Drain()
+	s.mu.Lock()
+	for _, j := range dropped {
+		if j.State == StateQueued {
+			j.State = StateCanceled
+			j.Finished = time.Now()
+			j.Error = "server draining"
+			s.reg.Add("serve.jobs_completed", 1, trace.Label("outcome", string(StateCanceled)))
+		}
+	}
+	s.reg.Set("serve.queue_depth", 0)
+	s.stateGaugesLocked()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var timer <-chan time.Time
+	if s.cfg.DrainTimeout > 0 {
+		t := time.NewTimer(s.cfg.DrainTimeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-done:
+		return nil
+	case <-timer:
+	case <-ctx.Done():
+	}
+
+	// Grace expired: cancel in-flight jobs. Cancellation is cooperative
+	// at epoch boundaries, so the workers exit promptly.
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		if j.State == StateRunning && j.cancel != nil {
+			j.cancelRequested = true
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// ---- HTTP API ----
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs                submit (202; 400 invalid, 429 full, 503 draining)
+//	GET    /jobs                list all jobs, submission order
+//	GET    /jobs/{id}           one job
+//	DELETE /jobs/{id}           cancel (202 while in flight, 200 if terminal)
+//	GET    /jobs/{id}/trace     streamed Chrome trace (409 until terminal)
+//	GET    /jobs/{id}/stats     stats artifact
+//	GET    /jobs/{id}/recording stored recording (dplog binary)
+//	GET    /metrics             Prometheus text format
+//	GET    /healthz             liveness + drain state
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /jobs/{id}/stats", s.handleStats)
+	mux.HandleFunc("GET /jobs/{id}/recording", s.handleRecording)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	info, err := s.Submit(sp)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, info)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueClosed):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	infos := make([]Info, 0, len(s.order))
+	for _, j := range s.order {
+		infos = append(infos, j.info())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": infos})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobInfo(j))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	code := http.StatusAccepted
+	if info.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, info)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if st := s.jobState(j); !st.Terminal() {
+		writeErr(w, http.StatusConflict, "job %s is %s; the trace streams until the job finishes", j.ID, st)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	http.ServeFile(w, r, s.store.JobArtifact(j.ID, "trace.json"))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	http.ServeFile(w, r, s.store.JobArtifact(j.ID, "stats.json"))
+}
+
+func (s *Server) handleRecording(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	data, err := s.store.ReadRecording(j.ID)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "job %s has no stored recording (state %s)", j.ID, s.jobState(j))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Recording-Digest", s.store.RecordingRef(j.ID))
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	n := len(s.jobs)
+	busy := s.busy
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"jobs":        n,
+		"workers":     s.cfg.Workers,
+		"busy":        busy,
+		"queue_depth": s.queue.Len(),
+	})
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is the daemon's artifact layout on disk:
+//
+//	<root>/blobs/sha256-<hex>     content-addressed immutable blobs
+//	<root>/jobs/<id>/trace.json   per-job streamed Chrome trace
+//	<root>/jobs/<id>/stats.json   per-job final stats
+//	<root>/jobs/<id>/job.json     job manifest (spec + outcome)
+//	<root>/jobs/<id>/recording.ref  digest of the recording blob
+//
+// Recordings are stored once by content digest — two record jobs with the
+// same workload, seed, and configuration produce byte-identical dplogs
+// and share one blob — while job directories hold the per-run artifacts
+// and a reference to the blob. Blob writes go through a temp file and
+// rename, so a blob path either doesn't exist or holds complete content.
+type Store struct {
+	root string
+}
+
+// OpenStore creates (if needed) and opens the artifact layout under root.
+func OpenStore(root string) (*Store, error) {
+	for _, dir := range []string{root, filepath.Join(root, "blobs"), filepath.Join(root, "jobs")} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: store: %w", err)
+		}
+	}
+	return &Store{root: root}, nil
+}
+
+// Root returns the store's base directory.
+func (st *Store) Root() string { return st.root }
+
+// Digest computes the content address of a blob.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return "sha256-" + hex.EncodeToString(sum[:])
+}
+
+// validDigest guards digests read back from ref files before they are
+// used as path components.
+func validDigest(d string) bool {
+	rest, ok := strings.CutPrefix(d, "sha256-")
+	if !ok || len(rest) != 64 {
+		return false
+	}
+	_, err := hex.DecodeString(rest)
+	return err == nil
+}
+
+// BlobPath maps a digest to its path.
+func (st *Store) BlobPath(digest string) string {
+	return filepath.Join(st.root, "blobs", digest)
+}
+
+// PutBlob stores data by content address, deduplicating: if the blob
+// already exists the write is skipped entirely.
+func (st *Store) PutBlob(data []byte) (digest string, err error) {
+	digest = Digest(data)
+	path := st.BlobPath(digest)
+	if _, err := os.Stat(path); err == nil {
+		return digest, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Join(st.root, "blobs"), ".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("server: store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("server: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("server: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("server: store: %w", err)
+	}
+	return digest, nil
+}
+
+// ReadBlob loads a blob by digest.
+func (st *Store) ReadBlob(digest string) ([]byte, error) {
+	if !validDigest(digest) {
+		return nil, fmt.Errorf("server: store: invalid digest %q", digest)
+	}
+	return os.ReadFile(st.BlobPath(digest))
+}
+
+// JobDir creates (if needed) and returns a job's artifact directory.
+func (st *Store) JobDir(id string) (string, error) {
+	dir := filepath.Join(st.root, "jobs", id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("server: store: %w", err)
+	}
+	return dir, nil
+}
+
+// JobArtifact returns the path of a named artifact in a job's directory
+// (without creating anything).
+func (st *Store) JobArtifact(id, name string) string {
+	return filepath.Join(st.root, "jobs", id, name)
+}
+
+// WriteJobArtifact writes one artifact into a job's directory.
+func (st *Store) WriteJobArtifact(id, name string, data []byte) error {
+	dir, err := st.JobDir(id)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), data, 0o644)
+}
+
+// SetRecordingRef records which blob holds a job's recording.
+func (st *Store) SetRecordingRef(id, digest string) error {
+	return st.WriteJobArtifact(id, "recording.ref", []byte(digest+"\n"))
+}
+
+// RecordingRef resolves a job's recording digest, or "" when the job has
+// no stored recording.
+func (st *Store) RecordingRef(id string) string {
+	data, err := os.ReadFile(st.JobArtifact(id, "recording.ref"))
+	if err != nil {
+		return ""
+	}
+	d := strings.TrimSpace(string(data))
+	if !validDigest(d) {
+		return ""
+	}
+	return d
+}
+
+// ReadRecording loads the recording bytes a job produced.
+func (st *Store) ReadRecording(id string) ([]byte, error) {
+	d := st.RecordingRef(id)
+	if d == "" {
+		return nil, fmt.Errorf("server: job %s has no stored recording", id)
+	}
+	return st.ReadBlob(d)
+}

@@ -1,0 +1,137 @@
+package server_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"doubleplay/internal/server"
+)
+
+func TestStoreBlobRoundTrip(t *testing.T) {
+	st, err := server.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	data := []byte("the quick brown fox")
+	d1, err := st.PutBlob(data)
+	if err != nil {
+		t.Fatalf("PutBlob: %v", err)
+	}
+	if d1 != server.Digest(data) {
+		t.Fatalf("PutBlob digest %s != Digest %s", d1, server.Digest(data))
+	}
+	// Re-putting identical content dedups onto the same blob.
+	d2, err := st.PutBlob(append([]byte(nil), data...))
+	if err != nil || d2 != d1 {
+		t.Fatalf("dedup PutBlob: %s, %v", d2, err)
+	}
+	got, err := st.ReadBlob(d1)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("ReadBlob: %q, %v", got, err)
+	}
+	entries, err := os.ReadDir(filepath.Join(st.Root(), "blobs"))
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("blobs dir has %d entries, want 1 (no temp litter, deduped)", len(entries))
+	}
+	// Digests are validated before touching the filesystem.
+	if _, err := st.ReadBlob("../../etc/passwd"); err == nil {
+		t.Fatalf("ReadBlob accepted a path-traversal digest")
+	}
+	if _, err := st.ReadBlob("sha256-zz"); err == nil {
+		t.Fatalf("ReadBlob accepted a malformed digest")
+	}
+}
+
+func TestStoreRecordingRef(t *testing.T) {
+	st, err := server.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if ref := st.RecordingRef("nope"); ref != "" {
+		t.Fatalf("RecordingRef of unknown job = %q", ref)
+	}
+	data := []byte("recording bytes")
+	d, err := st.PutBlob(data)
+	if err != nil {
+		t.Fatalf("PutBlob: %v", err)
+	}
+	if err := st.SetRecordingRef("job1", d); err != nil {
+		t.Fatalf("SetRecordingRef: %v", err)
+	}
+	if got := st.RecordingRef("job1"); got != d {
+		t.Fatalf("RecordingRef = %q, want %q", got, d)
+	}
+	back, err := st.ReadRecording("job1")
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("ReadRecording: %q, %v", back, err)
+	}
+}
+
+func TestQueueFIFOAndBounds(t *testing.T) {
+	q := server.NewQueue(2)
+	a, b := &server.Job{ID: "a"}, &server.Job{ID: "b"}
+	if err := q.Push(a); err != nil {
+		t.Fatalf("Push a: %v", err)
+	}
+	if err := q.Push(b); err != nil {
+		t.Fatalf("Push b: %v", err)
+	}
+	if err := q.Push(&server.Job{ID: "c"}); err != server.ErrQueueFull {
+		t.Fatalf("Push over capacity: %v, want ErrQueueFull", err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if j, ok := q.Pop(); !ok || j.ID != "a" {
+		t.Fatalf("Pop = %v %v, want a", j, ok)
+	}
+	if j, ok := q.Pop(); !ok || j.ID != "b" {
+		t.Fatalf("Pop = %v %v, want b", j, ok)
+	}
+}
+
+func TestQueueRemoveAndClose(t *testing.T) {
+	q := server.NewQueue(4)
+	q.Push(&server.Job{ID: "a"})
+	q.Push(&server.Job{ID: "b"})
+	if !q.Remove("a") {
+		t.Fatalf("Remove(a) = false")
+	}
+	if q.Remove("a") {
+		t.Fatalf("Remove(a) twice = true")
+	}
+
+	// A Pop blocked on an empty queue wakes when the queue closes.
+	q2 := server.NewQueue(4)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q2.Pop()
+		done <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	q2.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatalf("Pop on closed empty queue returned ok")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Pop did not wake on Close")
+	}
+	if err := q2.Push(&server.Job{ID: "x"}); err != server.ErrQueueClosed {
+		t.Fatalf("Push after Close: %v, want ErrQueueClosed", err)
+	}
+
+	// Drain hands back what never ran.
+	q.Close()
+	left := q.Drain()
+	if len(left) != 1 || left[0].ID != "b" {
+		t.Fatalf("Drain = %v", left)
+	}
+}

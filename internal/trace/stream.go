@@ -43,6 +43,19 @@ type StreamSink struct {
 	written int
 	maxLive int
 	err     error
+
+	// Downsampling state; zero values mean lossless (see Downsample).
+	minSpanDur    int64
+	counterStride int
+	counterSeen   map[counterKey]int
+	dropped       int
+}
+
+// counterKey identifies one counter series for stride thinning: counters
+// are per (process, name) step functions.
+type counterKey struct {
+	pid  int64
+	name string
 }
 
 // streamEntry pairs an event with its emission sequence number, which
@@ -76,6 +89,63 @@ func (s *StreamSink) Emit(ev Event) {
 	s.mu.Unlock()
 }
 
+// Downsample enables lossy compaction of the stream, for traces that
+// must stay Perfetto-friendly at large scale: complete (span) events
+// shorter than minSpanDur cycles are dropped, and each counter series
+// keeps only every counterStride-th sample (the first sample of every
+// series is always kept, so each step function still starts at its true
+// origin). Instants and metadata always pass through — divergences,
+// checkpoints, and commits are exactly the events a compacted trace
+// exists to show. Dropped events are counted in [StreamSink.Dropped].
+//
+// minSpanDur <= 0 keeps every span; counterStride <= 1 keeps every
+// counter sample. Call before emitting; downsampling an in-flight stream
+// only affects subsequent events.
+func (s *StreamSink) Downsample(minSpanDur int64, counterStride int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.minSpanDur = minSpanDur
+	s.counterStride = counterStride
+	if counterStride > 1 && s.counterSeen == nil {
+		s.counterSeen = make(map[counterKey]int)
+	}
+	s.mu.Unlock()
+}
+
+// Dropped returns how many events downsampling has discarded so far.
+func (s *StreamSink) Dropped() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// keepLocked applies the downsampling policy to one event.
+func (s *StreamSink) keepLocked(ev Event) bool {
+	switch ev.Ph {
+	case PhaseComplete:
+		if s.minSpanDur > 0 && ev.Dur < s.minSpanDur {
+			s.dropped++
+			return false
+		}
+	case PhaseCounter:
+		if s.counterStride > 1 {
+			k := counterKey{pid: ev.Pid, name: ev.Name}
+			n := s.counterSeen[k]
+			s.counterSeen[k] = n + 1
+			if n%s.counterStride != 0 {
+				s.dropped++
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // emitLocked inserts ev into the reorder window, flushing the oldest
 // events first so the live buffer never exceeds the window size.
 func (s *StreamSink) emitLocked(ev Event) {
@@ -83,6 +153,9 @@ func (s *StreamSink) emitLocked(ev Event) {
 		if s.err == nil {
 			s.err = fmt.Errorf("trace: emit on closed StreamSink")
 		}
+		return
+	}
+	if !s.keepLocked(ev) {
 		return
 	}
 	for len(s.heap) >= s.window {

@@ -251,3 +251,100 @@ func TestStreamSinkAllocPid(t *testing.T) {
 		t.Fatalf("process names %v", names)
 	}
 }
+
+func TestStreamSinkDownsampleSpans(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStreamSink(&buf, 4)
+	s.Downsample(100, 0)
+	s.Span("short", 0, 10, 1, 0, nil)  // dropped
+	s.Span("long", 0, 100, 1, 0, nil)  // kept (>= threshold)
+	s.Span("short2", 5, 99, 1, 0, nil) // dropped
+	s.Instant("mark", 7, 1, 0, nil)    // instants always pass
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	evs, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]int)
+	for _, ev := range evs {
+		names[ev.Name]++
+	}
+	if names["short"] != 0 || names["short2"] != 0 {
+		t.Fatalf("dropped spans present: %v", names)
+	}
+	if names["long"] != 1 || names["mark"] != 1 {
+		t.Fatalf("kept events missing: %v", names)
+	}
+	if got := s.Written(); got != len(evs) {
+		t.Fatalf("Written() = %d, parsed %d", got, len(evs))
+	}
+}
+
+func TestStreamSinkDownsampleCounters(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStreamSink(&buf, 4)
+	s.Downsample(0, 3)
+	for i := 0; i < 10; i++ {
+		s.Counter("log.syscalls", int64(i), 1, int64(i))
+	}
+	for i := 0; i < 2; i++ {
+		s.Counter("mem.pages", int64(i), 1, int64(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sys, mem []int64
+	for _, ev := range evs {
+		switch ev.Name {
+		case "log.syscalls":
+			sys = append(sys, ev.Ts)
+		case "mem.pages":
+			mem = append(mem, ev.Ts)
+		}
+	}
+	// Stride 3 keeps samples 0, 3, 6, 9 of the first series and sample 0
+	// of the second — every series keeps its first sample.
+	if want := []int64{0, 3, 6, 9}; fmt.Sprint(sys) != fmt.Sprint(want) {
+		t.Fatalf("log.syscalls samples = %v, want %v", sys, want)
+	}
+	if want := []int64{0}; fmt.Sprint(mem) != fmt.Sprint(want) {
+		t.Fatalf("mem.pages samples = %v, want %v", mem, want)
+	}
+	if got := s.Dropped(); got != 6+1 {
+		t.Fatalf("Dropped() = %d, want 7", got)
+	}
+}
+
+func TestStreamSinkDownsampleOffIsLossless(t *testing.T) {
+	var a, b bytes.Buffer
+	plain := NewStreamSink(&a, 8)
+	ds := NewStreamSink(&b, 8)
+	ds.Downsample(0, 0) // thresholds off: must be byte-identical
+	for i := 0; i < 50; i++ {
+		plain.Span("s", int64(i), int64(i%5), 1, 0, nil)
+		ds.Span("s", int64(i), int64(i%5), 1, 0, nil)
+		plain.Counter("c", int64(i), 1, int64(i))
+		ds.Counter("c", int64(i), 1, int64(i))
+	}
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("disabled downsampling changed the stream")
+	}
+	if ds.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d, want 0", ds.Dropped())
+	}
+}

@@ -32,7 +32,7 @@ go test ./internal/core/ -run 'TestStreamedRecordingMatchesBuffered' -count=1
 
 echo "== observability gate (streamed trace -> dptrace, prometheus lint)"
 obs=$(mktemp -d)
-trap 'rm -rf "$obs"' EXIT
+trap 'kill "${srv_pid:-}" 2>/dev/null || true; rm -rf "$obs"' EXIT
 go run ./cmd/doubleplay record -w racey -workers 2 -seed 11 \
     -trace "$obs/a.json" -prom "$obs/m.prom" >/dev/null
 go run ./cmd/dptrace stats "$obs/a.json" >/dev/null
@@ -47,5 +47,59 @@ if go run ./cmd/dptrace diff "$obs/a.json" "$obs/b.json" >/dev/null 2>&1; then
     echo "dptrace diff failed to flag divergent seeds" >&2
     exit 1
 fi
+
+echo "== serve gate (job daemon: record + replay-by-id over HTTP)"
+go build -o "$obs/doubleplay" ./cmd/doubleplay
+go build -o "$obs/dptrace" ./cmd/dptrace
+"$obs/doubleplay" serve -listen 127.0.0.1:0 -data "$obs/dpdata" \
+    -addr-file "$obs/addr" -pool 2 >"$obs/serve.log" 2>&1 &
+srv_pid=$!
+for i in $(seq 1 100); do [ -s "$obs/addr" ] && break; sleep 0.1; done
+addr=$(cat "$obs/addr")
+
+# JSON field extraction without jq.
+field() { grep -o "\"$1\": \"[^\"]*\"" | head -1 | cut -d'"' -f4; }
+
+# Submit the same recording the observability gate made via the CLI.
+id=$(curl -fsS -X POST "http://$addr/jobs" \
+    -d '{"kind":"record","workload":"racey","workers":2,"seed":11}' | field id)
+[ -n "$id" ] || { echo "serve: submission returned no job id" >&2; exit 1; }
+state=queued
+for i in $(seq 1 300); do
+    state=$(curl -fsS "http://$addr/jobs/$id" | field state)
+    case "$state" in done|failed|canceled) break;; esac
+    sleep 0.1
+done
+if [ "$state" != done ]; then
+    echo "serve: record job ended $state" >&2; cat "$obs/serve.log" >&2; exit 1
+fi
+rec_hash=$(curl -fsS "http://$addr/jobs/$id" | field final_hash)
+
+# Replay the stored recording by id, epoch-parallel; the hash must match.
+rid=$(curl -fsS -X POST "http://$addr/jobs" \
+    -d "{\"kind\":\"replay\",\"recording_job\":\"$id\",\"mode\":\"parallel\"}" | field id)
+state=queued
+for i in $(seq 1 300); do
+    state=$(curl -fsS "http://$addr/jobs/$rid" | field state)
+    case "$state" in done|failed|canceled) break;; esac
+    sleep 0.1
+done
+rep_hash=$(curl -fsS "http://$addr/jobs/$rid" | field final_hash)
+if [ "$state" != done ] || [ -z "$rec_hash" ] || [ "$rep_hash" != "$rec_hash" ]; then
+    echo "serve: replay-by-id ended $state (hash $rep_hash vs $rec_hash)" >&2; exit 1
+fi
+
+# The served trace must agree with the CLI trace of the same seed.
+curl -fsS "http://$addr/jobs/$id/trace" -o "$obs/served.json"
+"$obs/dptrace" diff "$obs/served.json" "$obs/a.json" >/dev/null
+
+# The daemon's /metrics must lint clean.
+curl -fsS "http://$addr/metrics" -o "$obs/serve.prom"
+"$obs/dptrace" promlint "$obs/serve.prom" >/dev/null
+
+# SIGTERM must drain cleanly: exit 0 with artifacts flushed.
+kill -TERM "$srv_pid"
+wait "$srv_pid"
+srv_pid=""
 
 echo "verify.sh: all checks passed"
