@@ -6,6 +6,7 @@
 //	doubleplay list
 //	doubleplay record  -w pbzip -workers 4 -spares 4 -o pbzip.dplog
 //	doubleplay record  -w pbzip -trace t.json -listen :9090  # streamed trace + live /metrics
+//	doubleplay record  -w pbzip -adaptive -min-spares 1 -max-spares 4  # feedback-controlled spares
 //	doubleplay replay  -w pbzip -workers 4 -log pbzip.dplog [-parallel]
 //	doubleplay verify  -w pbzip -workers 4          # record + both replays in memory
 //	doubleplay inspect -log pbzip.dplog
@@ -62,6 +63,9 @@ func main() {
 		stride      = fs.Int("stride", 0, "also verify sparse segment-parallel replay with this checkpoint stride")
 		detect      = fs.Bool("detect-races", false, "run the happens-before detector during recording")
 		growth      = fs.Float64("growth", 1, "adaptive epoch growth factor (>1 enables)")
+		adaptive    = fs.Bool("adaptive", false, "grow/shrink active spare slots at run time from the commit-lag signal")
+		minSpares   = fs.Int("min-spares", 0, "adaptive: lower bound on active spare slots (default 1)")
+		maxSpares   = fs.Int("max-spares", 0, "adaptive: upper bound on active spare slots (default -spares)")
 		traceOut    = fs.String("trace", "", "stream a Chrome trace_event JSON timeline to this file (record/verify/replay)")
 		traceWin    = fs.Int("trace-window", 0, "streaming reorder window in events (0 = default)")
 		traceSpan   = fs.Int64("trace-min-span", 0, "downsample: drop trace spans shorter than this many cycles")
@@ -81,6 +85,9 @@ func main() {
 	fs.Parse(args)
 	if *spares == 0 {
 		*spares = *workers
+	}
+	if (*minSpares != 0 || *maxSpares != 0) && !*adaptive {
+		usageErr("-min-spares/-max-spares require -adaptive")
 	}
 	// The trace streams to disk as the run executes, holding only a bounded
 	// reorder window in memory; Close finishes the JSON document.
@@ -146,7 +153,7 @@ func main() {
 
 	case "record":
 		bt := mustBuild(*wlName, *workers, *scale, *seed)
-		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, sink, reg)
+		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, *adaptive, *minSpares, *maxSpares, sink, reg)
 		printStats(*wlName, res)
 		printRaces(res)
 		if *outPath != "" {
@@ -177,7 +184,7 @@ func main() {
 
 	case "verify":
 		bt := mustBuild(*wlName, *workers, *scale, *seed)
-		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, sink, reg)
+		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, *adaptive, *minSpares, *maxSpares, sink, reg)
 		printStats(*wlName, res)
 		printRaces(res)
 		seq, err := replay.Sequential(bt.Prog, res.Recording, nil, sink)
@@ -307,17 +314,20 @@ func mustBuild(name string, workers, scale int, seed int64) *workloads.Built {
 	return wl.Build(workloads.Params{Workers: workers, Scale: scale, Seed: seed})
 }
 
-func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, growth float64, detect bool, sink trace.Recorder, reg *trace.Registry) *core.Result {
+func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, growth float64, detect bool, adaptive bool, minSpares, maxSpares int, sink trace.Recorder, reg *trace.Registry) *core.Result {
 	res, err := core.Record(bt.Prog, bt.World, core.Options{
-		Workers:     workers,
-		RecordCPUs:  workers,
-		SpareCPUs:   spares,
-		EpochCycles: epochLen,
-		Seed:        seed,
-		EpochGrowth: growth,
-		DetectRaces: detect,
-		Trace:       sink,
-		Metrics:     reg,
+		Workers:           workers,
+		RecordCPUs:        workers,
+		SpareCPUs:         spares,
+		EpochCycles:       epochLen,
+		Seed:              seed,
+		EpochGrowth:       growth,
+		DetectRaces:       detect,
+		Adaptive:          adaptive,
+		AdaptiveMinSpares: minSpares,
+		AdaptiveMaxSpares: maxSpares,
+		Trace:             sink,
+		Metrics:           reg,
 	})
 	check(err)
 	return res
@@ -344,6 +354,10 @@ func printStats(name string, res *core.Result) {
 	fmt.Printf("  time: thread-parallel %d cyc, completion %d cyc; divergences %d (adopt %d, rerun %d)\n",
 		s.ThreadParallelCycles, s.CompletionCycles, s.Divergences, s.HashRecoveries, s.RerunRecoveries)
 	fmt.Printf("  log: %d bytes replay, %d bytes with sync order\n", s.ReplayBytes, s.FullBytes)
+	if s.SpareGrows > 0 || s.SpareShrinks > 0 {
+		fmt.Printf("  controller: %d grows, %d shrinks, %d active spares at completion\n",
+			s.SpareGrows, s.SpareShrinks, s.ActiveSpares)
+	}
 	for _, d := range res.Divergences {
 		switch d.Kind {
 		case "state":

@@ -30,6 +30,9 @@ func main() {
 		seed        = flag.Int64("seed", 11, "input/timing seed")
 		scale       = flag.Int("scale", 1, "problem size multiplier")
 		seeds       = flag.Int("seeds", 12, "seed count for the divergence experiment")
+		adaptive    = flag.Bool("adaptive", false, "run every recording with the adaptive spare-slot controller")
+		minSpares   = flag.Int("min-spares", 0, "adaptive: lower bound on active spare slots (default 1)")
+		maxSpares   = flag.Int("max-spares", 0, "adaptive: upper bound on active spare slots (default: the run's spares)")
 		list        = flag.Bool("list", false, "list experiments and exit")
 		traceOut    = flag.String("trace", "", "stream a Chrome trace_event JSON timeline of every run to this file")
 		traceWin    = flag.Int("trace-window", 0, "streaming reorder window in events (0 = default)")
@@ -74,6 +77,7 @@ func main() {
 		}},
 		{"ablation", "Ablation: sync-order enforcement on/off", func(c exp.Config) { exp.RenderAblation(w, c) }},
 		{"adaptive", "Ablation: fixed vs adaptive epoch length", func(c exp.Config) { exp.RenderAdaptive(w, c) }},
+		{"adaptivespares", "Extension: adaptive spare-slot controller vs fixed pins", func(c exp.Config) { exp.RenderAdaptiveSpares(w, c) }},
 		{"sparse", "Extension: checkpoint retention vs segment-parallel replay speed", func(c exp.Config) { exp.RenderSparseReplay(w, c) }},
 	}
 
@@ -84,7 +88,14 @@ func main() {
 		return
 	}
 
-	cfg := exp.Config{Seed: *seed, Scale: *scale}
+	cfg := exp.Config{
+		Seed: *seed, Scale: *scale,
+		Adaptive: *adaptive, AdaptiveMinSpares: *minSpares, AdaptiveMaxSpares: *maxSpares,
+	}
+	if (*minSpares != 0 || *maxSpares != 0) && !*adaptive {
+		fmt.Fprintln(os.Stderr, "dpbench: -min-spares/-max-spares require -adaptive")
+		os.Exit(2)
+	}
 	var stream *trace.StreamSink
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -15,7 +15,11 @@
 // cores — produces the actual replay log: per-epoch timeslice schedules
 // plus syscall results. Data races may make the two executions disagree; a
 // divergence is detected at the epoch boundary and repaired by forward
-// recovery, and the resulting log always replays.
+// recovery, and the resulting log always replays. Setting
+// RecordOptions.Adaptive replaces the fixed spare-core count with a
+// feedback controller that grows and shrinks the pipeline from the live
+// commit-lag signal, within [AdaptiveMinSpares, AdaptiveMaxSpares];
+// recordings stay deterministic and bit-identically replayable either way.
 //
 // [ReplaySequential] reproduces the recording on one simulated CPU;
 // [ReplayParallel] replays all epochs concurrently from the retained

@@ -11,8 +11,9 @@
 //
 // This package owns the recording control loop and everything only it can
 // know: epoch boundary placement, the verification pipeline's timing model
-// ([Options.SpareCPUs]), divergence detection and both forward-recovery
-// strategies, and the per-run aggregates in [Stats]. When [Options.Trace]
+// ([Options.SpareCPUs], or the adaptive spare-core controller behind
+// [Options.Adaptive] — see adaptive.go), divergence detection and both
+// forward-recovery strategies, and the per-run aggregates in [Stats]. When [Options.Trace]
 // or [Options.Metrics] is set, the recorder additionally narrates the run
 // — epoch/verify/commit spans, checkpoint and divergence events, log-append
 // instants — without perturbing a single simulated cycle (see
@@ -46,8 +47,23 @@ type Options struct {
 
 	// SpareCPUs is the number of additional cores available to the
 	// epoch-parallel pipeline. Zero selects the "utilized" configuration:
-	// both executions time-share the record CPUs.
+	// both executions time-share the record CPUs. With Adaptive set it is
+	// the controller's starting point, clamped into
+	// [AdaptiveMinSpares, AdaptiveMaxSpares].
 	SpareCPUs int
+
+	// Adaptive replaces the fixed SpareCPUs pipeline with a feedback
+	// controller that grows and shrinks the active slot count at epoch
+	// boundaries from the live commit-lag signal (see adaptive.go). The
+	// controller only consumes simulated quantities and only acts at
+	// epoch boundaries, so adaptive recordings stay deterministic and
+	// replay bit-identically from the log alone.
+	Adaptive bool
+
+	// AdaptiveMinSpares and AdaptiveMaxSpares bound the controller.
+	// Defaults: min 1; max SpareCPUs (or min, when larger).
+	AdaptiveMinSpares int
+	AdaptiveMaxSpares int
 
 	// Workers documents the guest's worker thread count for reporting.
 	Workers int
@@ -135,6 +151,17 @@ func (o Options) withDefaults() Options {
 	if o.MaxEpochs <= 0 {
 		o.MaxEpochs = 1 << 16
 	}
+	if o.Adaptive {
+		if o.AdaptiveMinSpares <= 0 {
+			o.AdaptiveMinSpares = 1
+		}
+		if o.AdaptiveMaxSpares <= 0 {
+			o.AdaptiveMaxSpares = o.SpareCPUs
+		}
+		if o.AdaptiveMaxSpares < o.AdaptiveMinSpares {
+			o.AdaptiveMaxSpares = o.AdaptiveMinSpares
+		}
+	}
 	return o
 }
 
@@ -152,6 +179,13 @@ type Stats struct {
 	HashRecoveries  int // recovered by adopting the epoch-parallel state
 	RerunRecoveries int // recovered by re-running the epoch uniprocessor
 	SquashedCycles  int64
+
+	// SpareGrows and SpareShrinks count the adaptive controller's
+	// decisions; ActiveSpares is the slot count at completion (equal to
+	// SpareCPUs on fixed-spares runs, 0 in the utilized configuration).
+	SpareGrows   int
+	SpareShrinks int
+	ActiveSpares int
 
 	CheckpointPages int64 // Σ mapped pages over all checkpoints
 	CowPages        int64 // pages copied by checkpoint copy-on-write
@@ -265,8 +299,14 @@ func sysLogCost(recs []dplog.SyscallRecord, c *vm.CostModel) int64 {
 // and a spare core frees up, and cannot commit before its end checkpoint
 // exists. With no spare cores ("utilized"), epoch work displaces
 // thread-parallel work on the same cores.
+//
+// Slots beyond active are parked: they take no new work, but work already
+// scheduled on them still finishes. The adaptive controller parks and
+// unparks slots at epoch boundaries via setActive; fixed-spares pipelines
+// keep active == len(spares) for the whole run.
 type pipeline struct {
 	spares     []int64
+	active     int
 	recordCPUs int
 	busy       int64
 	lastFinish int64
@@ -276,27 +316,60 @@ func newPipeline(spare, recordCPUs int) *pipeline {
 	p := &pipeline{recordCPUs: recordCPUs}
 	if spare > 0 {
 		p.spares = make([]int64, spare)
+		p.active = spare
 	}
 	return p
 }
 
+// newAdaptivePipeline allocates maxSlots slots with only the first active
+// ones initially unparked.
+func newAdaptivePipeline(maxSlots, active, recordCPUs int) *pipeline {
+	return &pipeline{
+		spares:     make([]int64, maxSlots),
+		active:     active,
+		recordCPUs: recordCPUs,
+	}
+}
+
+// setActive parks or unparks slots at simulated cycle now. An unparked
+// slot models a core acquired at the decision point: it cannot have been
+// free before now, so its free-time is raised to now.
+func (p *pipeline) setActive(n int, now int64) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(p.spares) {
+		n = len(p.spares)
+	}
+	for i := p.active; i < n; i++ {
+		if p.spares[i] < now {
+			p.spares[i] = now
+		}
+	}
+	p.active = n
+}
+
 // placement reports where the pipeline ran one epoch's verification: on
-// which spare core (slot, -1 in the utilized configuration), and over which
-// simulated interval. finish is the epoch's commit point.
+// which spare core (slot, -1 in the utilized configuration), over which
+// simulated interval, and whether it had to wait for a core — the
+// occupancy-saturation signal the adaptive controller consumes. finish is
+// the epoch's commit point.
 type placement struct {
 	slot          int
 	start, finish int64
+	waited        bool
 }
 
 func (p *pipeline) schedule(startReady, checkReady, dur int64) placement {
-	if len(p.spares) > 0 {
+	if p.active > 0 {
 		c := 0
-		for i := 1; i < len(p.spares); i++ {
+		for i := 1; i < p.active; i++ {
 			if p.spares[i] < p.spares[c] {
 				c = i
 			}
 		}
 		start := p.spares[c]
+		waited := start > startReady
 		if start < startReady {
 			start = startReady
 		}
@@ -308,7 +381,7 @@ func (p *pipeline) schedule(startReady, checkReady, dur int64) placement {
 		if fin > p.lastFinish {
 			p.lastFinish = fin
 		}
-		return placement{slot: c, start: start, finish: fin}
+		return placement{slot: c, start: start, finish: fin, waited: waited}
 	}
 	start := checkReady + p.busy/int64(p.recordCPUs)
 	p.busy += dur
@@ -358,17 +431,32 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 	if reg != nil {
 		wl = trace.Label("workload", prog.Name)
 	}
+	// The adaptive controller replaces the fixed slot count: SpareCPUs
+	// becomes the starting point, and the pipeline gets MaxSpares slots of
+	// which only the controller's active count take work.
+	var ctl *Controller
+	slots := opt.SpareCPUs
+	if opt.Adaptive {
+		ctl = NewController(opt.AdaptiveMinSpares, opt.AdaptiveMaxSpares, opt.SpareCPUs)
+		slots = opt.AdaptiveMaxSpares
+	}
 	var pidRec, pidGuest int64
 	if tr.Enabled() {
 		pidRec = tr.AllocPid("record " + prog.Name)
 		pidGuest = tr.AllocPid("guest " + prog.Name + " (thread-parallel)")
 		tr.NameThread(pidRec, 0, "epochs + recovery")
-		if opt.SpareCPUs > 0 {
-			for s := 0; s < opt.SpareCPUs; s++ {
+		if slots > 0 {
+			for s := 0; s < slots; s++ {
 				tr.NameThread(pidRec, int64(1+s), fmt.Sprintf("pipeline slot %d", s))
 			}
 		} else {
 			tr.NameThread(pidRec, 1, "epoch work (shared cores)")
+		}
+		if ctl != nil {
+			tr.Instant("ctl.enable", 0, pidRec, 0, map[string]any{
+				"min": ctl.Min, "max": ctl.Max, "active": ctl.Active(),
+			})
+			tr.Counter("ctl.active", 0, pidRec, int64(ctl.Active()))
 		}
 	}
 
@@ -417,6 +505,9 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 	}
 	rec := &dplog.Recording{Program: prog.Name, Workers: opt.Workers, Seed: opt.Seed}
 	pl := newPipeline(opt.SpareCPUs, opt.RecordCPUs)
+	if ctl != nil {
+		pl = newAdaptivePipeline(slots, ctl.Active(), opt.RecordCPUs)
+	}
 	var stats Stats
 	var det *race.Detector
 	if opt.DetectRaces {
@@ -520,13 +611,19 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 
 		ep.CommitHash = b.World.OutputHash()
 
+		// pm and commitCyc survive the switch for the adaptive controller:
+		// every path schedules the epoch through the pipeline and commits
+		// it at some cycle, and the controller samples that commit's lag.
+		var pm placement
+		var commitCyc int64
 		switch {
 		case err == nil && res.EndHash == b.Hash:
 			// Verified: the epoch-parallel execution reached the same state.
 			ep.EndHash = b.Hash
 			ep.Schedule = res.Schedule
 			rec.Epochs = append(rec.Epochs, ep)
-			pm := pl.schedule(start.Cycle, b.Cycle, dur)
+			pm = pl.schedule(start.Cycle, b.Cycle, dur)
+			commitCyc = pm.finish
 			traceVerify(tr, pidRec, pm, epbuf, i, dur, true)
 			if tr.Enabled() {
 				tr.Instant("epoch.commit", pm.finish, pidRec, slotTid(pm.slot),
@@ -557,8 +654,9 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			ep.EndHash = res.EndHash
 			ep.Schedule = res.Schedule
 			rec.Epochs = append(rec.Epochs, ep)
-			pm := pl.schedule(start.Cycle, b.Cycle, dur)
+			pm = pl.schedule(start.Cycle, b.Cycle, dur)
 			detect := pm.finish
+			commitCyc = detect
 			stats.SquashedCycles += maxi64(0, detect-b.Cycle)
 			nb := &epoch.Boundary{
 				Index:       b.Index,
@@ -613,8 +711,9 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			ep.EndHash = reb.Hash
 			ep.CommitHash = reb.World.OutputHash()
 			rec.Epochs = append(rec.Epochs, ep)
-			pm := pl.schedule(start.Cycle, b.Cycle, dur)
+			pm = pl.schedule(start.Cycle, b.Cycle, dur)
 			detect := pm.finish + rcycles
+			commitCyc = detect
 			stats.SquashedCycles += maxi64(0, detect-b.Cycle)
 			stats.EpochSerialCycles += rcycles
 			reb.Cycle = detect
@@ -642,6 +741,35 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			return nil, fmt.Errorf("core: epoch %d verification failed: %w", i, err)
 		}
 
+		if ctl != nil {
+			// One sample per epoch boundary: the commit lag the pipeline
+			// model assigned this epoch, and whether it waited for a slot.
+			// A decision parks or unparks slots before the next epoch is
+			// scheduled; the unparked core is only available from here on.
+			lag := commitCyc - b.Cycle
+			if dec := ctl.Observe(i, lag, pm.waited, opt.EpochCycles); dec != 0 {
+				pl.setActive(ctl.Active(), commitCyc)
+				if tr.Enabled() {
+					name := "ctl.grow"
+					if dec < 0 {
+						name = "ctl.shrink"
+					}
+					tr.Instant(name, commitCyc, pidRec, 0, map[string]any{
+						"epoch": i, "active": ctl.Active(), "lag": lag,
+					})
+					tr.Counter("ctl.active", commitCyc, pidRec, int64(ctl.Active()))
+				}
+				if reg != nil {
+					if dec > 0 {
+						reg.Add("ctl.grows", 1, wl)
+					} else {
+						reg.Add("ctl.shrinks", 1, wl)
+					}
+					reg.Set("ctl.active_spares", float64(ctl.Active()), wl)
+				}
+			}
+		}
+
 		if reg != nil {
 			reg.Observe("epoch.cycles", dur, wl)
 			reg.Observe("epoch.syscalls", int64(len(ep.Syscalls)), wl)
@@ -667,6 +795,12 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 	stats.CompletionCycles = pl.completion(par.WallTime())
 	stats.ReplayBytes = rec.ReplaySize()
 	stats.FullBytes = rec.FullSize()
+	stats.ActiveSpares = opt.SpareCPUs
+	if ctl != nil {
+		stats.ActiveSpares = ctl.Active()
+		stats.SpareGrows = ctl.Grows()
+		stats.SpareShrinks = ctl.Shrinks()
+	}
 
 	if tr.Enabled() {
 		tr.Instant("record.done", stats.CompletionCycles, pidRec, 0, map[string]any{
@@ -684,6 +818,9 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 		reg.Set("record.completion_cycles", float64(stats.CompletionCycles), wl)
 		reg.Set("record.thread_parallel_cycles", float64(stats.ThreadParallelCycles), wl)
 		reg.Set("record.replay_bytes", float64(stats.ReplayBytes), wl)
+		if ctl != nil {
+			reg.Set("ctl.active_spares", float64(ctl.Active()), wl)
+		}
 	}
 
 	out := &Result{

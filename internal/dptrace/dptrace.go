@@ -456,11 +456,24 @@ func (s *SlotLag) Occupancy() float64 {
 	return float64(s.Busy) / float64(s.Span)
 }
 
+// CtlDecision is one adaptive-controller decision parsed from a ctl.grow
+// or ctl.shrink instant: at which epoch boundary the controller acted,
+// the commit lag that triggered it, and the active slot count it moved to.
+type CtlDecision struct {
+	Ts     int64
+	Epoch  int64
+	Grow   bool
+	Active int64 // active slots after the decision
+	Lag    int64 // commit lag at the decision boundary
+}
+
 // LagReport quantifies the pipeline fill/drain behaviour of one recording
 // process — the read-off docs/OBSERVABILITY.md's F6 worked example does
 // by eye in Perfetto. A positive overall Slope means the pipeline cannot
 // keep up with boundary arrival (fill); Drain is the tail between the
-// last thread-parallel boundary and the last commit.
+// last thread-parallel boundary and the last commit. When the recording
+// ran with the adaptive controller, the ctl.* events it emitted are
+// summarized too.
 type LagReport struct {
 	Pid     int64
 	Process string
@@ -474,6 +487,16 @@ type LagReport struct {
 	Slope   float64 // least-squares lag growth across all epochs
 	Slots   []SlotLag
 	Lags    []CommitLag // per-epoch series, sorted by epoch index
+
+	// Adaptive controller narration, from ctl.* events (zero when the
+	// recording ran with fixed spares).
+	Adaptive     bool  // a ctl.enable instant was present
+	CtlMin       int64 // controller bounds, from ctl.enable
+	CtlMax       int64
+	Grows        int
+	Shrinks      int
+	ActiveSpares int64 // last ctl.active counter sample
+	Decisions    []CtlDecision
 }
 
 // slope fits lag = a + b*epoch by least squares and returns b; fewer than
@@ -511,8 +534,9 @@ func Lag(events []trace.Event) []*LagReport {
 		last     int64
 	}
 	type acc struct {
-		rep   LagReport
-		slots map[int64]*slotAcc
+		rep      LagReport
+		slots    map[int64]*slotAcc
+		activeTs int64 // timestamp of the ctl.active sample in ActiveSpares
 	}
 	procName := make(map[int64]string)
 	threadName := make(map[key]string)
@@ -574,6 +598,35 @@ func Lag(events []trace.Event) []*LagReport {
 			slot(a, ev.Tid).lags = append(slot(a, ev.Tid).lags, cl)
 		case ev.Name == "record.done" && ev.Ph == trace.PhaseInstant:
 			get(ev.Pid).rep.Done = ev.Ts
+		case ev.Name == "ctl.enable" && ev.Ph == trace.PhaseInstant:
+			a := get(ev.Pid)
+			a.rep.Adaptive = true
+			if n, ok := argInt(ev.Args, "min"); ok {
+				a.rep.CtlMin = n
+			}
+			if n, ok := argInt(ev.Args, "max"); ok {
+				a.rep.CtlMax = n
+			}
+		case (ev.Name == "ctl.grow" || ev.Name == "ctl.shrink") && ev.Ph == trace.PhaseInstant:
+			a := get(ev.Pid)
+			a.rep.Adaptive = true
+			d := CtlDecision{Ts: ev.Ts, Grow: ev.Name == "ctl.grow"}
+			d.Epoch, _ = argInt(ev.Args, "epoch")
+			d.Active, _ = argInt(ev.Args, "active")
+			d.Lag, _ = argInt(ev.Args, "lag")
+			if d.Grow {
+				a.rep.Grows++
+			} else {
+				a.rep.Shrinks++
+			}
+			a.rep.Decisions = append(a.rep.Decisions, d)
+		case ev.Name == "ctl.active" && ev.Ph == trace.PhaseCounter:
+			a := get(ev.Pid)
+			a.rep.Adaptive = true
+			if n, ok := argInt(ev.Args, "value"); ok && ev.Ts >= a.activeTs {
+				a.rep.ActiveSpares = n
+				a.activeTs = ev.Ts
+			}
 		}
 	}
 
@@ -586,6 +639,7 @@ func Lag(events []trace.Event) []*LagReport {
 		}
 		rep.Process = procName[pid]
 		sort.Slice(rep.Lags, func(i, j int) bool { return rep.Lags[i].Epoch < rep.Lags[j].Epoch })
+		sort.Slice(rep.Decisions, func(i, j int) bool { return rep.Decisions[i].Ts < rep.Decisions[j].Ts })
 		var sum, lastCommit int64
 		for _, l := range rep.Lags {
 			sum += l.Lag
@@ -637,6 +691,18 @@ func (r *LagReport) Render(w io.Writer) {
 		fmt.Fprintf(w, "verdict: pipeline drains a tail after the guest finishes\n")
 	default:
 		fmt.Fprintf(w, "verdict: pipeline keeps up — lag is flat\n")
+	}
+	if r.Adaptive {
+		fmt.Fprintf(w, "controller: bounds [%d..%d]  grows: %d  shrinks: %d  final active: %d\n",
+			r.CtlMin, r.CtlMax, r.Grows, r.Shrinks, r.ActiveSpares)
+		for _, d := range r.Decisions {
+			verb := "grow"
+			if !d.Grow {
+				verb = "shrink"
+			}
+			fmt.Fprintf(w, "  epoch %-4d %-6s -> %d active (lag %d at cycle %d)\n",
+				d.Epoch, verb, d.Active, d.Lag, d.Ts)
+		}
 	}
 	if len(r.Slots) > 0 {
 		fmt.Fprintf(w, "\n%-6s %-26s %8s %12s %10s %8s %12s %12s\n",

@@ -284,3 +284,54 @@ func TestLagKeepingUpAndNoCommits(t *testing.T) {
 		t.Fatalf("guest-only trace produced %d reports", len(got))
 	}
 }
+
+func TestLagControllerNarration(t *testing.T) {
+	s := trace.NewSink()
+	pid := s.AllocPid("record adaptive")
+	s.Instant("ctl.enable", 0, pid, 0, map[string]any{"min": 1, "max": 4, "active": 1})
+	s.Counter("ctl.active", 0, pid, 1)
+	for i := 0; i < 6; i++ {
+		bStart := int64(i) * 100
+		s.Span("epoch", bStart, 100, pid, 0, map[string]any{"epoch": i})
+		s.Instant("epoch.commit", bStart+200, pid, 1, map[string]any{"epoch": i, "lag": 100})
+	}
+	s.Instant("ctl.grow", 500, pid, 0, map[string]any{"epoch": 3, "active": 2, "lag": 100})
+	s.Counter("ctl.active", 500, pid, 2)
+	s.Instant("ctl.shrink", 900, pid, 0, map[string]any{"epoch": 5, "active": 1, "lag": 40})
+	s.Counter("ctl.active", 900, pid, 1)
+	reps := Lag(s.Events())
+	if len(reps) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reps))
+	}
+	r := reps[0]
+	if !r.Adaptive {
+		t.Fatal("ctl events present but Adaptive is false")
+	}
+	if r.CtlMin != 1 || r.CtlMax != 4 {
+		t.Fatalf("bounds [%d..%d], want [1..4]", r.CtlMin, r.CtlMax)
+	}
+	if r.Grows != 1 || r.Shrinks != 1 {
+		t.Fatalf("grows=%d shrinks=%d, want 1/1", r.Grows, r.Shrinks)
+	}
+	if r.ActiveSpares != 1 {
+		t.Fatalf("final ActiveSpares = %d, want the last sample 1", r.ActiveSpares)
+	}
+	if len(r.Decisions) != 2 || !r.Decisions[0].Grow || r.Decisions[1].Grow {
+		t.Fatalf("decisions wrong: %+v", r.Decisions)
+	}
+	if r.Decisions[0].Epoch != 3 || r.Decisions[0].Active != 2 || r.Decisions[0].Lag != 100 {
+		t.Fatalf("grow decision args wrong: %+v", r.Decisions[0])
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "controller: bounds [1..4]") ||
+		!strings.Contains(out, "grow") || !strings.Contains(out, "shrink") {
+		t.Fatalf("render missing controller narration:\n%s", out)
+	}
+
+	// A fixed-spares trace must not claim a controller.
+	if fixed := Lag(lagTrace()); fixed[0].Adaptive {
+		t.Fatal("fixed-spares trace reported Adaptive")
+	}
+}

@@ -23,6 +23,14 @@ type Config struct {
 	EpochCycles int64
 	Costs       *vm.CostModel
 
+	// Adaptive enables the in-recorder spare-slot controller for every
+	// recording an experiment performs (dpbench -adaptive), bounded to
+	// [AdaptiveMinSpares, AdaptiveMaxSpares] active slots (core defaults
+	// apply when zero).
+	Adaptive          bool
+	AdaptiveMinSpares int
+	AdaptiveMaxSpares int
+
 	// Workloads, when non-empty, overrides the default benchmark list
 	// (EvalSet) for every experiment — used by quick runs and tests.
 	Workloads []string
@@ -89,14 +97,17 @@ func native(name string, workers int, cfg Config) *core.NativeResult {
 func record(name string, workers, spares int, cfg Config) (*core.Result, *workloads.Built) {
 	_, bt := build(name, workers, cfg)
 	res, err := core.Record(bt.Prog, bt.World, core.Options{
-		Workers:     workers,
-		RecordCPUs:  workers,
-		SpareCPUs:   spares,
-		EpochCycles: cfg.EpochCycles,
-		Seed:        cfg.Seed,
-		Costs:       cfg.Costs,
-		Trace:       cfg.Trace,
-		Metrics:     cfg.Metrics,
+		Workers:           workers,
+		RecordCPUs:        workers,
+		SpareCPUs:         spares,
+		EpochCycles:       cfg.EpochCycles,
+		Seed:              cfg.Seed,
+		Costs:             cfg.Costs,
+		Adaptive:          cfg.Adaptive,
+		AdaptiveMinSpares: cfg.AdaptiveMinSpares,
+		AdaptiveMaxSpares: cfg.AdaptiveMaxSpares,
+		Trace:             cfg.Trace,
+		Metrics:           cfg.Metrics,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("exp: record %s: %v", name, err))

@@ -554,6 +554,70 @@ func RenderAdaptive(w io.Writer, cfg Config) {
 		[]string{"workload", "fixed epochs", "fixed overhead", "grown epochs", "grown overhead", "first epoch cyc"}, out)
 }
 
+// --- Extension study: adaptive spare-slot controller ---------------------------
+
+// AdaptiveSpareRow compares a fixed spare count against the feedback
+// controller for one workload: the controller starts at one active slot,
+// bounded [1, workers], and should land between the two pins.
+type AdaptiveSpareRow struct {
+	Workload     string
+	FixedLowOver float64 // pinned at 1 spare
+	AdaptOver    float64 // controller, starting at 1
+	FixedHiOver  float64 // pinned at workers spares
+	Grows        int
+	Shrinks      int
+	FinalActive  int
+}
+
+// AdaptiveSpares measures the controller against the two pins it moves
+// between (4 threads).
+func AdaptiveSpares(cfg Config) []AdaptiveSpareRow {
+	cfg = cfg.norm()
+	const workers = 4
+	set := SpareSweepSet
+	if len(cfg.Workloads) > 0 {
+		set = cfg.Workloads
+	}
+	fixed := cfg
+	fixed.Adaptive = false
+	adapt := cfg
+	adapt.Adaptive = true
+	adapt.AdaptiveMinSpares = 1
+	adapt.AdaptiveMaxSpares = workers
+	var rows []AdaptiveSpareRow
+	for _, name := range set {
+		nat := native(name, workers, cfg)
+		over := func(res *core.Result) float64 {
+			return float64(res.Stats.CompletionCycles)/float64(nat.Cycles) - 1
+		}
+		lo, _ := record(name, workers, 1, fixed)
+		hi, _ := record(name, workers, workers, fixed)
+		ad, _ := record(name, workers, 1, adapt)
+		rows = append(rows, AdaptiveSpareRow{
+			Workload:     name,
+			FixedLowOver: over(lo),
+			AdaptOver:    over(ad),
+			FixedHiOver:  over(hi),
+			Grows:        ad.Stats.SpareGrows,
+			Shrinks:      ad.Stats.SpareShrinks,
+			FinalActive:  ad.Stats.ActiveSpares,
+		})
+	}
+	return rows
+}
+
+// RenderAdaptiveSpares prints the controller study.
+func RenderAdaptiveSpares(w io.Writer, cfg Config) {
+	rows := AdaptiveSpares(cfg)
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Workload, pct(r.FixedLowOver), pct(r.AdaptOver), pct(r.FixedHiOver),
+			fmt.Sprint(r.Grows), fmt.Sprint(r.Shrinks), fmt.Sprint(r.FinalActive)}
+	}
+	Table(w, "Extension: adaptive spare-slot controller (4 threads, start 1, bounds [1,4])",
+		[]string{"workload", "pinned@1", "adaptive", "pinned@4", "grows", "shrinks", "final"}, out)
+}
+
 // --- Extension study: sparse checkpoints vs replay speed ------------------------
 
 // SparseReplayRow is one point of the checkpoint-memory/replay-speed

@@ -85,6 +85,14 @@ type Spec struct {
 	Growth      float64 `json:"growth,omitempty"`
 	DetectRaces bool    `json:"detect_races,omitempty"`
 
+	// Adaptive enables the recorder's spare-slot feedback controller
+	// (record/verify jobs), bounded to [MinSpares, MaxSpares] active
+	// slots and starting from Spares. Zero bounds take core defaults
+	// (min 1, max Spares).
+	Adaptive  bool `json:"adaptive,omitempty"`
+	MinSpares int  `json:"min_spares,omitempty"`
+	MaxSpares int  `json:"max_spares,omitempty"`
+
 	// Mode selects the replay strategy for replay jobs (and, when set to
 	// "parallel", adds a parallel replay to verify jobs). Stride thins
 	// checkpoints for sparse replay.
@@ -166,6 +174,15 @@ func (sp *Spec) Validate(jobExists func(id string) bool) error {
 	}
 	if sp.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	if !sp.Adaptive && (sp.MinSpares != 0 || sp.MaxSpares != 0) {
+		return fmt.Errorf("min_spares/max_spares require adaptive")
+	}
+	if sp.MinSpares < 0 || sp.MaxSpares < 0 {
+		return fmt.Errorf("min_spares/max_spares must be >= 0")
+	}
+	if sp.MinSpares > 0 && sp.MaxSpares > 0 && sp.MaxSpares < sp.MinSpares {
+		return fmt.Errorf("max_spares must be >= min_spares")
 	}
 	return nil
 }

@@ -87,16 +87,19 @@ func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Reco
 		return nil, nil, err
 	}
 	res, err := core.Record(bt.Prog, bt.World, core.Options{
-		Workers:     sp.Workers,
-		RecordCPUs:  sp.Workers,
-		SpareCPUs:   sp.Spares,
-		EpochCycles: sp.EpochCycles,
-		EpochGrowth: sp.Growth,
-		Seed:        sp.Seed,
-		DetectRaces: sp.DetectRaces,
-		Trace:       sink,
-		Metrics:     s.reg,
-		Context:     ctx,
+		Workers:           sp.Workers,
+		RecordCPUs:        sp.Workers,
+		SpareCPUs:         sp.Spares,
+		EpochCycles:       sp.EpochCycles,
+		EpochGrowth:       sp.Growth,
+		Seed:              sp.Seed,
+		DetectRaces:       sp.DetectRaces,
+		Adaptive:          sp.Adaptive,
+		AdaptiveMinSpares: sp.MinSpares,
+		AdaptiveMaxSpares: sp.MaxSpares,
+		Trace:             sink,
+		Metrics:           s.reg,
+		Context:           ctx,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -48,6 +48,31 @@ if go run ./cmd/dptrace diff "$obs/a.json" "$obs/b.json" >/dev/null 2>&1; then
     exit 1
 fi
 
+echo "== adaptive gate (controller recordings replay bit-identically)"
+# A filling pipeline: pbzip with 4 workers starting from one active slot
+# forces the controller to grow. Keep the log, the trace, and the stats.
+go run ./cmd/doubleplay record -w pbzip -workers 4 -spares 1 \
+    -adaptive -min-spares 1 -max-spares 4 -seed 11 \
+    -o "$obs/ad.dplog" -trace "$obs/ad.json" >"$obs/ad.out"
+grep -q "controller:" "$obs/ad.out" || {
+    echo "adaptive: controller never fired on a filling pipeline" >&2; exit 1; }
+# The recording must replay from the log alone, every boundary hash
+# verified (replay exits 1 on any mismatch).
+go run ./cmd/doubleplay replay -w pbzip -workers 4 -log "$obs/ad.dplog" >/dev/null
+# Same seed and bounds: a second adaptive recording must diff clean
+# (exit 0) — controller decisions are deterministic.
+go run ./cmd/doubleplay record -w pbzip -workers 4 -spares 1 \
+    -adaptive -min-spares 1 -max-spares 4 -seed 11 -trace "$obs/ad2.json" >/dev/null
+go run ./cmd/dptrace diff "$obs/ad.json" "$obs/ad2.json" >/dev/null
+# A pinned controller (min = max = spares) must reproduce the fixed-spares
+# timeline the observability gate recorded.
+go run ./cmd/doubleplay record -w racey -workers 2 \
+    -adaptive -min-spares 2 -max-spares 2 -seed 11 -trace "$obs/pin.json" >/dev/null
+go run ./cmd/dptrace diff "$obs/pin.json" "$obs/a.json" >/dev/null
+# dptrace lag must narrate the controller's decisions from the trace.
+go run ./cmd/dptrace lag "$obs/ad.json" | grep -q "controller: bounds" || {
+    echo "adaptive: dptrace lag missing controller narration" >&2; exit 1; }
+
 echo "== serve gate (job daemon: record + replay-by-id over HTTP)"
 go build -o "$obs/doubleplay" ./cmd/doubleplay
 go build -o "$obs/dptrace" ./cmd/dptrace
