@@ -219,3 +219,38 @@ func BenchmarkAblationSyncEnforcement(b *testing.B) {
 		b.ReportMetric(float64(noGate), "divergences_without_gate")
 	}
 }
+
+// BenchmarkExtensionVerifySkip regenerates the certified verify-skip
+// study: with 2 worker threads and 2 spares, workloads whose static
+// certificate proves race-freedom skip the epoch-parallel verification
+// pass entirely. The metrics report the mean recording overhead across
+// the suite under each policy, plus the overhead of the certified
+// workload set alone — the population the optimisation actually helps.
+func BenchmarkExtensionVerifySkip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.VerifySkip(benchCfg(), 2, 2)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+		var alwaysSum, certSum float64
+		var skipAlways, skipCert float64
+		skipped := 0
+		for _, r := range rows {
+			alwaysSum += r.AlwaysOver
+			certSum += r.CertOver
+			if r.Skipped > 0 {
+				skipAlways += r.AlwaysOver
+				skipCert += r.CertOver
+				skipped++
+			}
+		}
+		n := float64(len(rows))
+		b.ReportMetric(alwaysSum/n*100, "always_%")
+		b.ReportMetric(certSum/n*100, "certified_%")
+		if skipped == 0 {
+			b.Fatal("no workload certified race-free — the verify-skip path never ran")
+		}
+		b.ReportMetric(skipAlways/float64(skipped)*100, "skip_always_%")
+		b.ReportMetric(skipCert/float64(skipped)*100, "skip_certified_%")
+	}
+}

@@ -62,6 +62,7 @@ func main() {
 		parallel    = fs.Bool("parallel", false, "replay epochs in parallel (verify-time only)")
 		stride      = fs.Int("stride", 0, "also verify sparse segment-parallel replay with this checkpoint stride")
 		detect      = fs.Bool("detect-races", false, "run the happens-before detector during recording")
+		verifyPol   = fs.String("verify-policy", "always", "epoch verification policy: always, or certified (skip the epoch-parallel pass when the static certificate proves the guest race-free)")
 		growth      = fs.Float64("growth", 1, "adaptive epoch growth factor (>1 enables)")
 		adaptive    = fs.Bool("adaptive", false, "grow/shrink active spare slots at run time from the commit-lag signal")
 		minSpares   = fs.Int("min-spares", 0, "adaptive: lower bound on active spare slots (default 1)")
@@ -88,6 +89,10 @@ func main() {
 	}
 	if (*minSpares != 0 || *maxSpares != 0) && !*adaptive {
 		usageErr("-min-spares/-max-spares require -adaptive")
+	}
+	policy, err := core.ParseVerifyPolicy(*verifyPol)
+	if err != nil {
+		usageErr(err.Error())
 	}
 	// The trace streams to disk as the run executes, holding only a bounded
 	// reorder window in memory; Close finishes the JSON document.
@@ -153,7 +158,7 @@ func main() {
 
 	case "record":
 		bt := mustBuild(*wlName, *workers, *scale, *seed)
-		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, *adaptive, *minSpares, *maxSpares, sink, reg)
+		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, *adaptive, *minSpares, *maxSpares, policy, sink, reg)
 		printStats(*wlName, res)
 		printRaces(res)
 		if *outPath != "" {
@@ -184,7 +189,7 @@ func main() {
 
 	case "verify":
 		bt := mustBuild(*wlName, *workers, *scale, *seed)
-		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, *adaptive, *minSpares, *maxSpares, sink, reg)
+		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, *adaptive, *minSpares, *maxSpares, policy, sink, reg)
 		printStats(*wlName, res)
 		printRaces(res)
 		seq, err := replay.Sequential(bt.Prog, res.Recording, nil, sink)
@@ -314,7 +319,7 @@ func mustBuild(name string, workers, scale int, seed int64) *workloads.Built {
 	return wl.Build(workloads.Params{Workers: workers, Scale: scale, Seed: seed})
 }
 
-func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, growth float64, detect bool, adaptive bool, minSpares, maxSpares int, sink trace.Recorder, reg *trace.Registry) *core.Result {
+func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, growth float64, detect bool, adaptive bool, minSpares, maxSpares int, policy core.VerifyPolicy, sink trace.Recorder, reg *trace.Registry) *core.Result {
 	res, err := core.Record(bt.Prog, bt.World, core.Options{
 		Workers:           workers,
 		RecordCPUs:        workers,
@@ -326,6 +331,7 @@ func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, 
 		Adaptive:          adaptive,
 		AdaptiveMinSpares: minSpares,
 		AdaptiveMaxSpares: maxSpares,
+		VerifyPolicy:      policy,
 		Trace:             sink,
 		Metrics:           reg,
 	})
@@ -354,6 +360,15 @@ func printStats(name string, res *core.Result) {
 	fmt.Printf("  time: thread-parallel %d cyc, completion %d cyc; divergences %d (adopt %d, rerun %d)\n",
 		s.ThreadParallelCycles, s.CompletionCycles, s.Divergences, s.HashRecoveries, s.RerunRecoveries)
 	fmt.Printf("  log: %d bytes replay, %d bytes with sync order\n", s.ReplayBytes, s.FullBytes)
+	if s.CertStatus != "" {
+		if s.VerifySkipped > 0 {
+			fmt.Printf("  certificate: %s; verification skipped for all %d epochs\n",
+				s.CertStatus, s.VerifySkipped)
+		} else {
+			fmt.Printf("  certificate: %s; full verification kept (%s)\n",
+				s.CertStatus, s.VerifyFallback)
+		}
+	}
 	if s.SpareGrows > 0 || s.SpareShrinks > 0 {
 		fmt.Printf("  controller: %d grows, %d shrinks, %d active spares at completion\n",
 			s.SpareGrows, s.SpareShrinks, s.ActiveSpares)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"doubleplay/internal/core"
 	"doubleplay/internal/exp"
 	"doubleplay/internal/trace"
 )
@@ -31,6 +32,7 @@ func main() {
 		scale       = flag.Int("scale", 1, "problem size multiplier")
 		seeds       = flag.Int("seeds", 12, "seed count for the divergence experiment")
 		adaptive    = flag.Bool("adaptive", false, "run every recording with the adaptive spare-slot controller")
+		verifyPol   = flag.String("verify-policy", "always", "epoch verification policy for every recording: always or certified")
 		minSpares   = flag.Int("min-spares", 0, "adaptive: lower bound on active spare slots (default 1)")
 		maxSpares   = flag.Int("max-spares", 0, "adaptive: upper bound on active spare slots (default: the run's spares)")
 		list        = flag.Bool("list", false, "list experiments and exit")
@@ -79,6 +81,9 @@ func main() {
 		{"adaptive", "Ablation: fixed vs adaptive epoch length", func(c exp.Config) { exp.RenderAdaptive(w, c) }},
 		{"adaptivespares", "Extension: adaptive spare-slot controller vs fixed pins", func(c exp.Config) { exp.RenderAdaptiveSpares(w, c) }},
 		{"sparse", "Extension: checkpoint retention vs segment-parallel replay speed", func(c exp.Config) { exp.RenderSparseReplay(w, c) }},
+		{"verifyskip", "Extension: certified verify-skip vs full verification", func(c exp.Config) {
+			exp.RenderVerifySkip(w, c, 2, 2)
+		}},
 	}
 
 	if *list {
@@ -96,6 +101,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dpbench: -min-spares/-max-spares require -adaptive")
 		os.Exit(2)
 	}
+	policy, err := core.ParseVerifyPolicy(*verifyPol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.VerifyPolicy = policy
 	var stream *trace.StreamSink
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

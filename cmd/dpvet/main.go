@@ -3,18 +3,29 @@
 // verification (branch targets, lock balance, uninitialized registers,
 // dead code) plus the lockset race screen.
 //
+// The certify subcommand prints each workload's race-freedom certificate
+// (race-free / possibly-racy / incomplete) — the decision input the
+// recorder consults under -verify-policy certified — and cross-validates
+// it against the workloads' Racy ground truth: a workload marked racy
+// must never be proven race-free.
+//
 // Exit status: 0 when every analyzed program is consistent, 1 when any
 // error-severity finding is reported or a workload's Racy metadata
 // disagrees with the screen (a racy workload with no candidates, a
-// race-free one with any, or a known racy cell no candidate covers),
-// 2 on usage errors.
+// race-free one with any, or a known racy cell no candidate covers) or,
+// under certify, a racy workload is certified race-free, 2 on usage
+// errors.
 //
 //	dpvet                  # analyze every builtin workload
 //	dpvet racey kvdb       # analyze specific workloads
 //	dpvet -disasm racey    # full annotated listing
+//	dpvet -json            # findings as JSON
+//	dpvet certify          # race-freedom certificates for every workload
+//	dpvet -json certify    # certificates as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,49 +46,77 @@ func run() int {
 		quiet   = flag.Bool("q", false, "print only per-program summaries")
 		listing = flag.Bool("disasm", false, "print the full annotated listing per program")
 		radius  = flag.Int("context", 2, "disassembly context radius around each finding")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dpvet [flags] [workload ...]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: dpvet [flags] [certify] [workload ...]\n\n"+
 			"Statically analyzes builtin guest workloads (all of them when none are\n"+
 			"named): structural verification, dataflow lints, and the lockset race\n"+
-			"screen. Exits non-zero on error findings or Racy-metadata mismatches.\n\nflags:\n")
+			"screen. The certify subcommand prints race-freedom certificates instead.\n"+
+			"Exits non-zero on error findings or Racy-metadata mismatches.\n\nflags:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(os.Stderr, "\nworkloads: %v\n", workloadNames())
 	}
 	flag.Parse()
 
 	names := flag.Args()
+	certify := false
+	if len(names) > 0 && names[0] == "certify" {
+		certify = true
+		// Accept flags on either side of the subcommand: `dpvet -json
+		// certify` and `dpvet certify -json` both work. ExitOnError makes
+		// a failed re-parse exit 2 directly.
+		_ = flag.CommandLine.Parse(names[1:])
+		names = flag.Args()
+	}
 	if len(names) == 0 {
 		names = workloadNames()
 	}
+	params := workloads.Params{Workers: *workers, Scale: *scale, Seed: *seed}
+	if certify {
+		return runCertify(names, params, *jsonOut)
+	}
+
 	fail := false
+	var jsonReports []map[string]any
 	for _, name := range names {
 		w := workloads.Get(name)
 		if w == nil {
 			fmt.Fprintf(os.Stderr, "dpvet: unknown workload %q (have %v)\n", name, workloadNames())
 			return 2
 		}
-		bt := w.Build(workloads.Params{Workers: *workers, Scale: *scale, Seed: *seed})
+		bt := w.Build(params)
 		fs := analyze.Run(bt.Prog)
 		races := fs.Races()
-		fmt.Printf("== %-14s %s\n", name, fs.Summary())
-		if !*quiet {
-			for _, f := range fs.List {
-				if f.Sev == analyze.SevInfo && !*verbose {
-					continue
-				}
-				fmt.Printf("   %s\n", f)
-				if *radius > 0 && f.PC >= 0 && f.PC < len(bt.Prog.Code) {
-					fmt.Print(asm.Context(bt.Prog, f.PC, *radius))
+		if *jsonOut {
+			jsonReports = append(jsonReports, map[string]any{
+				"program":     name,
+				"summary":     fs.Summary(),
+				"errors":      fs.Errors(),
+				"candidates":  len(races),
+				"findings":    fs.List,
+				"certificate": fs.Cert,
+			})
+		} else {
+			fmt.Printf("== %-14s %s\n", name, fs.Summary())
+			if !*quiet {
+				for _, f := range fs.List {
+					if f.Sev == analyze.SevInfo && !*verbose {
+						continue
+					}
+					fmt.Printf("   %s\n", f)
+					if *radius > 0 && f.PC >= 0 && f.PC < len(bt.Prog.Code) {
+						fmt.Print(asm.Context(bt.Prog, f.PC, *radius))
+					}
 				}
 			}
-		}
-		if *listing {
-			notes := make(map[int][]string)
-			for _, f := range fs.List {
-				notes[f.PC] = append(notes[f.PC], f.String())
+			if *listing {
+				notes := make(map[int][]string)
+				for _, f := range fs.List {
+					notes[f.PC] = append(notes[f.PC], f.String())
+				}
+				fmt.Print(asm.Listing(bt.Prog, notes))
 			}
-			fmt.Print(asm.Listing(bt.Prog, notes))
 		}
 		if fs.Errors() > 0 {
 			fail = true
@@ -86,30 +125,86 @@ func run() int {
 			// A single worker cannot race with itself; the Racy metadata
 			// describes multi-worker builds, so the cross-check would only
 			// mislead here.
-			if w.Racy {
+			if w.Racy && !*jsonOut {
 				fmt.Printf("   note: racy-metadata cross-check skipped with -workers %d\n", *workers)
 			}
 			continue
 		}
 		switch {
 		case w.Racy && len(races) == 0:
-			fmt.Printf("   FAIL: %s is marked racy but the screen found no candidates\n", name)
+			crossFail(*jsonOut, "%s is marked racy but the screen found no candidates\n", name)
 			fail = true
 		case !w.Racy && len(races) > 0:
-			fmt.Printf("   FAIL: %s is race-free but the screen flagged %d candidate(s)\n", name, len(races))
+			crossFail(*jsonOut, "%s is race-free but the screen flagged %d candidate(s)\n", name, len(races))
 			fail = true
 		}
 		for _, addr := range bt.RacyAddrs {
 			if !fs.Covers(addr) {
-				fmt.Printf("   FAIL: known racy cell %d is not covered by any candidate\n", addr)
+				crossFail(*jsonOut, "known racy cell %d is not covered by any candidate\n", addr)
 				fail = true
 			}
 		}
+	}
+	if *jsonOut {
+		emitJSON(jsonReports)
 	}
 	if fail {
 		return 1
 	}
 	return 0
+}
+
+// runCertify prints (or emits as JSON) each workload's race-freedom
+// certificate and enforces the soundness cross-check against the Racy
+// ground truth.
+func runCertify(names []string, params workloads.Params, jsonOut bool) int {
+	fail := false
+	var certs []*analyze.Certificate
+	for _, name := range names {
+		w := workloads.Get(name)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "dpvet: unknown workload %q (have %v)\n", name, workloadNames())
+			return 2
+		}
+		bt := w.Build(params)
+		cert := analyze.Run(bt.Prog).Cert
+		if jsonOut {
+			certs = append(certs, cert)
+		} else {
+			fmt.Printf("== %-14s %s\n", name, cert)
+			for _, r := range cert.Reasons {
+				fmt.Printf("   - %s\n", r)
+			}
+		}
+		// Soundness gate: a workload with known races must never be proven
+		// race-free. (The converse is fine — the certificate is allowed to
+		// be conservative about race-free programs.)
+		if w.Racy && params.Workers >= 2 && cert.RaceFree() {
+			crossFail(jsonOut, "%s is marked racy but was certified race-free — soundness bug\n", name)
+			fail = true
+		}
+	}
+	if jsonOut {
+		emitJSON(certs)
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+func crossFail(jsonOut bool, format string, args ...any) {
+	if jsonOut {
+		fmt.Fprintf(os.Stderr, "dpvet: FAIL: "+format, args...)
+	} else {
+		fmt.Printf("   FAIL: "+format, args...)
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 func workloadNames() []string {

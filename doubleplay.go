@@ -250,6 +250,48 @@ type VetFinding = analyze.Finding
 // which candidates are real. See cmd/dpvet for the CLI.
 func Vet(prog *Program) *VetReport { return analyze.Run(prog) }
 
+// Certificate is the static race-freedom certificate analyze computes
+// alongside its findings: a sound classification of the whole program
+// (and each function) as proven race-free, possibly racy, or beyond the
+// analysis. See docs/ANALYSIS.md for its semantics.
+type Certificate = analyze.Certificate
+
+// CertStatus is one certificate classification.
+type CertStatus = analyze.CertStatus
+
+// Certificate classifications. Only CertRaceFree licenses skipping the
+// epoch-parallel verification pass.
+const (
+	CertRaceFree     = analyze.CertRaceFree
+	CertPossiblyRacy = analyze.CertPossiblyRacy
+	CertIncomplete   = analyze.CertIncomplete
+)
+
+// Certify statically analyzes a guest program and returns its
+// race-freedom certificate — the decision input Record consults under
+// VerifyCertified.
+func Certify(prog *Program) *Certificate { return analyze.Run(prog).Cert }
+
+// VerifyPolicy selects how Record validates epochs; see RecordOptions.
+type VerifyPolicy = core.VerifyPolicy
+
+// Verification policies. VerifyAlways (the zero value) runs the
+// epoch-parallel pass for every epoch; VerifyCertified commits epochs
+// directly from the logged thread-parallel execution when Certify proves
+// the program race-free, falling back to VerifyAlways otherwise.
+const (
+	VerifyAlways    = core.VerifyAlways
+	VerifyCertified = core.VerifyCertified
+)
+
+// ParseVerifyPolicy maps "always"/"certified" (or "") to a policy.
+func ParseVerifyPolicy(s string) (VerifyPolicy, error) { return core.ParseVerifyPolicy(s) }
+
+// ErrCertViolated reports a certified epoch whose replay did not
+// reproduce the recorded state — a soundness bug in the certificate, not
+// an ordinary divergence.
+var ErrCertViolated = replay.ErrCertViolated
+
 // RecordContext is Record with cooperative cancellation: the recording
 // stops at the first epoch boundary after ctx is done and returns an
 // error wrapping ctx.Err(). Simulated state is never left half-committed,

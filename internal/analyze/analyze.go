@@ -68,6 +68,13 @@ const (
 	DeadBlock       Kind = "dead-block"
 	UnreachableFunc Kind = "unreachable-func"
 	RaceCandidate   Kind = "race-candidate"
+	// Incomplete marks a spot the analysis could not cover soundly: an
+	// address it cannot bound, an effect it does not model while threads
+	// overlap, or an exhausted analysis budget. Incomplete findings never
+	// indicate a bug by themselves — they indicate the absence of race
+	// candidates proves nothing, so the program's Certificate degrades
+	// from race-free to incomplete.
+	Incomplete Kind = "incomplete"
 )
 
 // Finding is one analyzer result.
@@ -99,6 +106,9 @@ func (f Finding) String() string {
 type Findings struct {
 	Prog *vm.Program
 	List []Finding
+	// Cert is the race-freedom certificate derived from this analysis;
+	// see Certificate for what each status licenses.
+	Cert *Certificate
 }
 
 func (fs *Findings) add(f Finding) { fs.List = append(fs.List, f) }
@@ -182,16 +192,35 @@ func (fs *Findings) sort() {
 	})
 }
 
-// Run analyzes prog and returns every finding, most severe first. It
-// never executes guest code and is safe on malformed programs: images
-// that fail vm.Validate yield a single invalid-program error.
-func Run(prog *vm.Program) *Findings {
+// DefaultBudget bounds the abstract instructions the interprocedural
+// scan may interpret. It is far above what any suite workload needs; a
+// guest program that exhausts it degrades to an incomplete certificate
+// instead of unbounded analysis time.
+const DefaultBudget = 2_000_000
+
+// Run analyzes prog under DefaultBudget and returns every finding, most
+// severe first, plus the program's race-freedom certificate in
+// Findings.Cert. It never executes guest code and is safe on malformed
+// programs: images that fail vm.Validate yield a single invalid-program
+// error and an incomplete certificate.
+func Run(prog *vm.Program) *Findings { return RunBudget(prog, DefaultBudget) }
+
+// RunBudget is Run with an explicit abstract-instruction budget.
+// A budget <= 0 means unlimited.
+func RunBudget(prog *vm.Program, budget int) *Findings {
 	fs := &Findings{Prog: prog}
 	if err := prog.Validate(); err != nil {
 		fs.add(Finding{Kind: InvalidProgram, Sev: SevError, PC: -1, Msg: err.Error()})
+		fs.Cert = &Certificate{
+			Program: prog.Name,
+			Status:  CertIncomplete,
+			Reasons: []string{"program failed validation: " + err.Error()},
+			Budget:  budget,
+		}
 		return fs
 	}
 	a := newAnalysis(prog, fs)
+	a.budget = budget
 	a.structural()
 	a.checkInit()
 	a.checkLiveness()
@@ -199,6 +228,7 @@ func Run(prog *vm.Program) *Findings {
 	a.screenRaces()
 	a.reportUnreachableFuncs()
 	fs.sort()
+	fs.Cert = a.certificate()
 	return fs
 }
 
@@ -243,7 +273,18 @@ type analysis struct {
 	spawnMulti []bool       // target can have >= 2 concurrently live instances
 	spawnCycle map[int]bool // spawn pcs whose block lies on a CFG cycle
 	hasBarrier []bool       // function contains barrier instructions
+	maySpawn   []bool       // function contains or transitively calls a Spawn
 	dataEnd    vm.Word
+
+	// Certification state. budget caps the abstract instructions exec may
+	// interpret (steps counts them); incompleteFns, valveTripped, and
+	// racyFns carry per-function degradation into the certificate.
+	budget        int
+	steps         int
+	budgetHit     bool
+	incompleteFns map[int]bool
+	valveTripped  map[int]bool
+	racyFns       map[int]bool
 
 	// ctxInst counts, per context key, how many thread instances can be
 	// live with that context at once: a spawn site contributes one (two if
@@ -269,8 +310,13 @@ func newAnalysis(prog *vm.Program, fs *Findings) *analysis {
 		spawnMulti: make([]bool, len(prog.Funcs)),
 		spawnCycle: make(map[int]bool),
 		hasBarrier: make([]bool, len(prog.Funcs)),
+		maySpawn:   make([]bool, len(prog.Funcs)),
 		dataEnd:    prog.DataBase + vm.Word(len(prog.Data)),
 		ctxInst:    make(map[string]int),
+
+		incompleteFns: make(map[int]bool),
+		valveTripped:  make(map[int]bool),
+		racyFns:       make(map[int]bool),
 	}
 	for i := range a.spans {
 		a.cfgs[i] = buildCFG(prog, a.spans[i])
@@ -285,6 +331,7 @@ func newAnalysis(prog *vm.Program, fs *Findings) *analysis {
 // functions contain barrier instructions.
 func (a *analysis) surveySpawnsAndBarriers() {
 	counts := make([]int, len(a.prog.Funcs))
+	calls := make([][]int, len(a.prog.Funcs)) // caller -> callees
 	for fi, g := range a.cfgs {
 		for bi := range g.blocks {
 			b := &g.blocks[bi]
@@ -293,12 +340,17 @@ func (a *analysis) surveySpawnsAndBarriers() {
 				switch in.Op {
 				case vm.OpSpawn:
 					a.anySpawn = true
+					a.maySpawn[fi] = true
 					if t := int(in.Imm); t >= 0 && t < len(counts) {
 						counts[t]++
 						if g.onCycle(bi) {
 							counts[t] += ctxCap // force multi
 							a.spawnCycle[pc] = true
 						}
+					}
+				case vm.OpCall:
+					if t := int(in.Imm); t >= 0 && t < len(calls) {
+						calls[fi] = append(calls[fi], t)
 					}
 				case vm.OpBarArrive, vm.OpBarWait:
 					a.hasBarrier[fi] = true
@@ -308,6 +360,23 @@ func (a *analysis) surveySpawnsAndBarriers() {
 	}
 	for i, n := range counts {
 		a.spawnMulti[i] = n >= 2
+	}
+	// Propagate maySpawn over the call graph to a fixpoint: a function
+	// that calls a spawning function may itself create concurrency.
+	for changed := true; changed; {
+		changed = false
+		for fi, callees := range calls {
+			if a.maySpawn[fi] {
+				continue
+			}
+			for _, t := range callees {
+				if a.maySpawn[t] {
+					a.maySpawn[fi] = true
+					changed = true
+					break
+				}
+			}
+		}
 	}
 }
 
@@ -370,15 +439,21 @@ func (a *analysis) scanAll() {
 	}
 	a.bumpInst(root.key(), 1)
 	a.enqueue(root)
-	for len(a.queue) > 0 {
+	for len(a.queue) > 0 && !a.budgetHit {
 		c := a.queue[0]
 		a.queue = a.queue[1:]
 		a.scanContext(c)
 	}
+	if a.budgetHit {
+		a.report("budget", Finding{
+			Kind: Incomplete, Sev: SevInfo, PC: -1,
+			Msg: fmt.Sprintf("instruction budget exhausted after %d abstract steps; coverage is partial", a.steps),
+		})
+	}
 	for fn, capped := range a.capped {
 		if capped {
 			a.report(fmt.Sprintf("cap|%d", fn), Finding{
-				Kind: UnreachableFunc, Sev: SevInfo, Func: a.fname(fn), PC: a.prog.Funcs[fn].Entry,
+				Kind: Incomplete, Sev: SevInfo, Func: a.fname(fn), PC: a.prog.Funcs[fn].Entry,
 				Msg: fmt.Sprintf("context budget exhausted for %q; some call sites analyzed imprecisely", a.fname(fn)),
 			})
 		}
@@ -407,7 +482,7 @@ func (a *analysis) entryState(c *context) absState {
 // mode to emit findings, access sites, and callee contexts.
 func (a *analysis) scanContext(c *context) {
 	g := a.cfgs[c.fn]
-	if len(g.blocks) == 0 {
+	if len(g.blocks) == 0 || a.budgetHit {
 		return
 	}
 	in := make([]absState, len(g.blocks))
@@ -417,7 +492,14 @@ func (a *analysis) scanContext(c *context) {
 	queued[0] = true
 	for steps := 0; len(work) > 0; steps++ {
 		if steps > 200*len(g.blocks)+10000 {
-			break // fixpoint safety valve; lattices are finite so this should not trigger
+			// Fixpoint safety valve; lattices are finite so this should not
+			// trigger — if it does, coverage is partial and the certificate
+			// must degrade.
+			a.valveTripped[c.fn] = true
+			break
+		}
+		if a.budgetHit {
+			break
 		}
 		bi := work[0]
 		work = work[1:]

@@ -1,0 +1,284 @@
+package analyze_test
+
+import (
+	"strings"
+	"testing"
+
+	"doubleplay/internal/analyze"
+	"doubleplay/internal/asm"
+	"doubleplay/internal/vm"
+	"doubleplay/internal/workloads"
+)
+
+// TestCertWorkloadCrossValidation is the soundness gate against the
+// suite's ground truth: no workload with intentional races may ever be
+// certified race-free (a single false race-free certificate would make
+// VerifyCertified silently commit divergent epochs), and the certified
+// set must be non-empty so the skip-verification path has coverage.
+func TestCertWorkloadCrossValidation(t *testing.T) {
+	certified := 0
+	for _, wl := range workloads.All() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			bt := wl.Build(workloads.Params{Workers: 2})
+			fs := analyze.Run(bt.Prog)
+			cert := fs.Cert
+			if cert == nil {
+				t.Fatal("no certificate computed")
+			}
+			if wl.Racy && cert.Status == analyze.CertRaceFree {
+				t.Fatalf("racy workload certified race-free: %s", cert)
+			}
+			if wl.Racy && cert.Status != analyze.CertPossiblyRacy {
+				t.Errorf("racy workload not flagged possibly-racy: %s", cert)
+			}
+			if cert.Status != analyze.CertRaceFree && len(cert.Reasons) == 0 {
+				t.Errorf("degraded certificate carries no reasons: %s", cert)
+			}
+			if cert.Status == analyze.CertRaceFree {
+				certified++
+				if len(fs.Races()) != 0 || len(fs.ByKind(analyze.Incomplete)) != 0 {
+					t.Fatalf("race-free certificate alongside disqualifying findings: %v", fs.List)
+				}
+				for _, fc := range cert.Funcs {
+					if fc.Status != analyze.CertRaceFree {
+						t.Errorf("program race-free but %q is %s (%s)", fc.Func, fc.Status, fc.Reason)
+					}
+				}
+			}
+		})
+	}
+	if certified == 0 {
+		t.Fatal("no workload certifies race-free; the VerifyCertified path has no coverage")
+	}
+}
+
+// TestCertSigpingRaceFree pins the suite's certified workload: per-thread
+// tally slots, an atomic sink, and post-join reads leave nothing for the
+// screen to flag and no source of incompleteness.
+func TestCertSigpingRaceFree(t *testing.T) {
+	bt := workloads.Get("sigping").Build(workloads.Params{Workers: 2})
+	fs := analyze.Run(bt.Prog)
+	if !fs.Cert.RaceFree() {
+		t.Fatalf("sigping not certified: %s", fs.Cert)
+	}
+}
+
+// TestCertLockedCounterRaceFree: a counter consistently protected by one
+// lock is exactly what the lockset discipline proves; the certificate
+// must be race-free, and dropping the lock must flip it to possibly-racy
+// with the worker marked at function granularity.
+func TestCertLockedCounterRaceFree(t *testing.T) {
+	prog, _ := buildCounterRace(t, true)
+	fs := analyze.Run(prog)
+	if !fs.Cert.RaceFree() {
+		t.Fatalf("locked counter not certified: %s", fs.Cert)
+	}
+
+	prog, _ = buildCounterRace(t, false)
+	fs = analyze.Run(prog)
+	if fs.Cert.Status != analyze.CertPossiblyRacy {
+		t.Fatalf("unlocked counter certificate = %s, want possibly-racy", fs.Cert)
+	}
+	found := false
+	for _, fc := range fs.Cert.Funcs {
+		if fc.Func == "worker" && fc.Status == analyze.CertPossiblyRacy {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("worker not marked possibly-racy: %+v", fs.Cert.Funcs)
+	}
+}
+
+// TestCertBudgetPath exercises the instruction-budget satellite: a tiny
+// budget must stop the scan, emit an Incomplete finding, and degrade the
+// certificate — never panic or spin.
+func TestCertBudgetPath(t *testing.T) {
+	bt := workloads.Get("fft").Build(workloads.Params{Workers: 2})
+
+	full := analyze.Run(bt.Prog)
+	if full.Cert.Steps >= analyze.DefaultBudget {
+		t.Fatalf("suite workload consumed the default budget (%d steps)", full.Cert.Steps)
+	}
+
+	fs := analyze.RunBudget(bt.Prog, 10)
+	cert := fs.Cert
+	if cert.Status != analyze.CertIncomplete {
+		t.Fatalf("budget-starved certificate = %s, want incomplete", cert)
+	}
+	if cert.Budget != 10 {
+		t.Fatalf("cert.Budget = %d, want 10", cert.Budget)
+	}
+	inc := fs.ByKind(analyze.Incomplete)
+	foundBudget := false
+	for _, f := range inc {
+		if strings.Contains(f.Msg, "instruction budget exhausted") {
+			foundBudget = true
+		}
+	}
+	if !foundBudget {
+		t.Fatalf("no budget-exhaustion finding: %v", fs.List)
+	}
+	for _, fc := range cert.Funcs {
+		if fc.Status == analyze.CertRaceFree && fc.Reason == "" {
+			t.Fatalf("budget-starved run still proves %q race-free", fc.Func)
+		}
+	}
+}
+
+// TestCertEmptyProgram: an empty image fails validation and must come
+// back incomplete (with the validation error as the reason), not clean.
+func TestCertEmptyProgram(t *testing.T) {
+	fs := analyze.Run(&vm.Program{Name: "empty"})
+	if len(fs.ByKind(analyze.InvalidProgram)) != 1 {
+		t.Fatalf("want one invalid-program finding, got %v", fs.List)
+	}
+	if fs.Cert == nil || fs.Cert.Status != analyze.CertIncomplete {
+		t.Fatalf("empty program certificate = %v, want incomplete", fs.Cert)
+	}
+	if len(fs.Cert.Reasons) == 0 {
+		t.Fatal("incomplete certificate with no reason")
+	}
+}
+
+// TestCertSpawnUndefined: spawning a function index outside the table is
+// a structural error; the certificate must degrade on it.
+func TestCertSpawnUndefined(t *testing.T) {
+	prog := &vm.Program{
+		Name: "badspawn",
+		Code: []vm.Instr{
+			{Op: vm.OpSpawn, A: 1, B: 2, Imm: 5}, // only function 0 exists
+			{Op: vm.OpHalt},
+		},
+		Funcs: []vm.FuncInfo{{Name: "main", Entry: 0}},
+	}
+	fs := analyze.Run(prog)
+	if len(fs.ByKind(analyze.BadCallee)) == 0 {
+		t.Fatalf("undefined spawn target not flagged: %v", fs.List)
+	}
+	if fs.Cert.Status == analyze.CertRaceFree {
+		t.Fatalf("program with error findings certified race-free: %s", fs.Cert)
+	}
+}
+
+// TestCertBarrierOnlySync: workers sharing a region ordered only by a
+// barrier draw zero candidates (the screen's documented partitioning
+// assumption) but must NOT certify — the disjointness is unproven.
+func TestCertBarrierOnlySync(t *testing.T) {
+	b := asm.NewBuilder("barrier-only")
+	arr := b.Zeros(8)
+	w := b.Func("worker", 1)
+	{
+		bar := w.Const(1)
+		n := w.Const(2)
+		idx, v := w.Reg(), w.Reg()
+		w.Barrier(bar, n)
+		w.Mov(idx, unknownReg(w))
+		w.Movi(v, 7)
+		w.Stx(w.Const(arr), idx, v) // region write under barrier only
+		w.HaltImm(0)
+	}
+	m := b.Func("main", 0)
+	spawnTwo(m, true)
+	m.HaltImm(0)
+	b.SetEntry("main")
+	fs := analyze.Run(b.MustBuild())
+	if n := len(fs.Races()); n != 0 {
+		t.Fatalf("barrier-partitioned region drew %d candidates: %v", n, fs.Races())
+	}
+	if fs.Cert.Status != analyze.CertIncomplete {
+		t.Fatalf("barrier-only sharing certificate = %s, want incomplete", fs.Cert)
+	}
+	foundBarrier := false
+	for _, r := range fs.Cert.Reasons {
+		if strings.Contains(r, "barrier") {
+			foundBarrier = true
+		}
+	}
+	if !foundBarrier {
+		t.Fatalf("no barrier reason on the certificate: %v", fs.Cert.Reasons)
+	}
+}
+
+// unknownReg returns a register the constant dataflow cannot pin: Cas
+// results are unknown and atomics are deliberately not access sites, so
+// this introduces no site and no unsoundness of its own.
+func unknownReg(f *asm.Func) asm.Reg {
+	d := f.Reg()
+	addr := f.Const(0)
+	zero := f.Const(0)
+	f.Cas(d, addr, zero, zero)
+	return d
+}
+
+// TestCertSpawnInHelper: a spawn buried inside a function the initial
+// thread calls is invisible to main's child tracking; the certificate
+// must degrade even though the screen records nothing wrong.
+func TestCertSpawnInHelper(t *testing.T) {
+	b := asm.NewBuilder("helper-spawn")
+	cell := b.Words(0)
+	w := b.Func("worker", 1)
+	{
+		c := w.Const(cell)
+		v := w.Const(3)
+		w.St(c, 0, v)
+		w.HaltImm(0)
+	}
+	h := b.Func("helper", 0)
+	{
+		tid, arg := h.Reg(), h.Reg()
+		h.Movi(arg, 0)
+		h.Spawn(tid, "worker", arg)
+		h.Join(tid)
+		h.Ret(arg)
+	}
+	m := b.Func("main", 0)
+	{
+		tmp := m.Reg()
+		m.Call("helper")
+		c := m.Const(cell)
+		m.Ld(tmp, c, 0)
+		m.Halt(tmp)
+	}
+	b.SetEntry("main")
+	fs := analyze.Run(b.MustBuild())
+	if fs.Cert.Status == analyze.CertRaceFree {
+		t.Fatalf("helper-spawn program certified race-free: %s", fs.Cert)
+	}
+	foundCall := false
+	for _, r := range fs.Cert.Reasons {
+		if strings.Contains(r, "may spawn") {
+			foundCall = true
+		}
+	}
+	if !foundCall {
+		t.Fatalf("no helper-spawn reason on the certificate: %v", fs.Cert.Reasons)
+	}
+}
+
+// TestCoversOutOfRange: Covers must answer false, not fault, for
+// addresses far outside any candidate and on a findings set with no
+// candidates at all.
+func TestCoversOutOfRange(t *testing.T) {
+	prog, cell := buildCounterRace(t, false)
+	fs := analyze.Run(prog)
+	if !fs.Covers(cell) {
+		t.Fatalf("candidate cell %d not covered", cell)
+	}
+	for _, addr := range []vm.Word{-1, 1 << 40, cell + 1<<20} {
+		if fs.Covers(addr) {
+			t.Errorf("out-of-range address %d reported covered", addr)
+		}
+	}
+	clean := analyze.Run(buildCounterRaceLocked(t))
+	if clean.Covers(cell) || clean.Covers(0) {
+		t.Error("findings with no candidates reported coverage")
+	}
+}
+
+func buildCounterRaceLocked(t *testing.T) *vm.Program {
+	t.Helper()
+	prog, _ := buildCounterRace(t, true)
+	return prog
+}

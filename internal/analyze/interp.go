@@ -11,6 +11,10 @@ import (
 // findings, memory-access sites, and callee contexts; the fixpoint pass
 // runs with rec unset so nothing is reported from intermediate states.
 func (a *analysis) exec(c *context, st *absState, pc int, rec bool) {
+	a.steps++
+	if a.budget > 0 && a.steps > a.budget {
+		a.budgetHit = true
+	}
 	in := a.prog.Code[pc]
 	r := &st.regs
 	switch in.Op {
@@ -77,6 +81,15 @@ func (a *analysis) exec(c *context, st *absState, pc int, rec bool) {
 	case vm.OpCall:
 		fn := int(in.Imm)
 		if fn >= 0 && fn < len(a.prog.Funcs) && rec {
+			if c.class == "main" && a.maySpawn[fn] {
+				// The initial thread tracks its live children (st.kids) to
+				// prove pre-spawn/post-join accesses non-concurrent, but a
+				// spawn buried inside a callee is invisible to the caller's
+				// count — accesses after this call could wrongly look
+				// single-threaded. No suite workload spawns from a helper;
+				// if a guest does, the proof is void.
+				a.unsound(c.fn, pc, fmt.Sprintf("call to %q, which may spawn threads the caller's concurrency tracking cannot see", a.fname(fn)))
+			}
 			callee := &context{fn: fn, lk: st.lk, class: c.class, conc: a.concAt(c, st)}
 			for i := 0; i < vm.MaxArgs; i++ {
 				callee.args[i] = st.regs[vm.ArgStageBase+i]
@@ -86,6 +99,13 @@ func (a *analysis) exec(c *context, st *absState, pc int, rec bool) {
 		}
 		r[0] = unknown
 	case vm.OpSys:
+		if rec && a.concAt(c, st) {
+			// A syscall's memory write-backs (reads into buffers, alloc
+			// bookkeeping) are not access sites the lockset screen models;
+			// while other threads are live they can overlap guest accesses
+			// unordered by any lock.
+			a.unsound(c.fn, pc, "syscall issued while other threads are live; its memory effects are outside the lockset model")
+		}
 		r[0] = unknown
 	case vm.OpRet:
 		if rec && !st.lk.sameHeld(c.lk) {

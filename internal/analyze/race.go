@@ -50,6 +50,7 @@ func (s *site) where(a *analysis) string {
 // per-thread slot and deliberately not recorded (each thread owns its
 // cell by construction, as in the tally arrays of the signal workloads).
 func (a *analysis) recordSite(c *context, st *absState, pc int, base, idx aval, write bool, val aval) {
+	conc := a.concAt(c, st)
 	var s site
 	switch {
 	case base.k == vConst && idx.k == vConst:
@@ -59,18 +60,29 @@ func (a *analysis) recordSite(c *context, st *absState, pc int, base, idx aval, 
 	case base.k == vConst:
 		s = site{exact: false, addr: base.c}
 	default:
-		return // dynamically allocated or loaded pointer
+		// Dynamically allocated or loaded pointer: nothing to pair, so no
+		// site — but while other threads are live the access could touch
+		// any word, which the screen cannot rule a race, so a certificate
+		// cannot call the program race-free.
+		if conc {
+			a.unsound(c.fn, pc, "concurrent access through an address the constant dataflow cannot bound")
+		}
+		return
 	}
 	// Regions inside barrier-synchronized functions are index-partitioned
 	// phase arrays in this suite; the barrier orders the phases, and the
 	// per-index disjointness that makes the sharing safe is beyond a
-	// lockset analysis. Documented under-approximation (see DESIGN.md).
+	// lockset analysis. Documented under-approximation (see DESIGN.md) —
+	// fine for a screen, but a certificate must degrade on it.
 	if !s.exact && a.hasBarrier[c.fn] {
+		if conc {
+			a.unsound(c.fn, pc, "concurrent region access skipped under the barrier-partitioning assumption")
+		}
 		return
 	}
 	s.fn, s.pc, s.write = c.fn, pc, write
 	s.class = c.class
-	s.conc = a.concAt(c, st)
+	s.conc = conc
 	if !s.conc {
 		return
 	}
@@ -257,5 +269,8 @@ func (a *analysis) screenRaces() {
 			Addr: g.addr, Size: size, Msg: msg,
 		}
 		a.fs.add(f)
+		for _, s := range members {
+			a.racyFns[s.fn] = true
+		}
 	}
 }

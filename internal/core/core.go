@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 
+	"doubleplay/internal/analyze"
 	"doubleplay/internal/dplog"
 	"doubleplay/internal/epoch"
 	"doubleplay/internal/race"
@@ -97,6 +98,12 @@ type Options struct {
 	// the verified (logged) execution stream; epochs replaced by re-run
 	// recovery are not instrumented.
 	DetectRaces bool
+
+	// VerifyPolicy selects whether the epoch-parallel verification pass may
+	// be skipped on the strength of a static race-freedom certificate. See
+	// the VerifyCertified docs for the exact soundness and fallback rules.
+	// The zero value, VerifyAlways, is the paper's behaviour.
+	VerifyPolicy VerifyPolicy
 
 	// MaxEpochs bounds the recording as a safety net.
 	MaxEpochs int
@@ -199,6 +206,20 @@ type Stats struct {
 
 	ReplayBytes int // encoded size of the replay log
 	FullBytes   int // including the transient sync-order log
+
+	// VerifySkipped counts epochs committed directly from the logged
+	// thread-parallel execution under VerifyCertified. Either zero or
+	// equal to Epochs: the skip decision is made once, before recording.
+	VerifySkipped int
+
+	// CertStatus is the static certificate's classification when
+	// VerifyCertified was requested ("race-free", "possibly-racy",
+	// "incomplete"); empty under VerifyAlways.
+	CertStatus string
+
+	// VerifyFallback explains why a VerifyCertified run verified every
+	// epoch anyway; empty when the skip was taken or never requested.
+	VerifyFallback string
 }
 
 // Result is a completed recording.
@@ -215,6 +236,10 @@ type Result struct {
 
 	// Divergences details every epoch whose executions disagreed.
 	Divergences []DivergenceInfo
+
+	// Certificate is the static race-freedom certificate consulted when
+	// Options.VerifyPolicy was VerifyCertified; nil under VerifyAlways.
+	Certificate *analyze.Certificate
 }
 
 // DivergenceInfo is the forensic record of one divergence.
@@ -431,12 +456,34 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 	if reg != nil {
 		wl = trace.Label("workload", prog.Name)
 	}
+	// Static race-freedom certification. Under VerifyCertified a race-free
+	// certificate lets every epoch commit directly from the logged
+	// thread-parallel execution; any other status — or an option that needs
+	// the epoch-parallel pass regardless — falls back to full verification
+	// with the reason recorded in Stats.VerifyFallback.
+	var cert *analyze.Certificate
+	certified := false
+	fallback := ""
+	if opt.VerifyPolicy == VerifyCertified {
+		cert = analyze.Run(prog).Cert
+		switch {
+		case opt.DetectRaces:
+			fallback = "race detection requires the epoch-parallel pass"
+		case opt.DisableSyncEnforcement:
+			fallback = "sync-order enforcement disabled; the certificate assumes the gate"
+		case !cert.RaceFree():
+			fallback = fmt.Sprintf("certificate is %s, not race-free", cert.Status)
+		default:
+			certified = true
+		}
+	}
 	// The adaptive controller replaces the fixed slot count: SpareCPUs
 	// becomes the starting point, and the pipeline gets MaxSpares slots of
-	// which only the controller's active count take work.
+	// which only the controller's active count take work. A certified run
+	// has no verification pipeline to pace, so the controller stays off.
 	var ctl *Controller
 	slots := opt.SpareCPUs
-	if opt.Adaptive {
+	if opt.Adaptive && !certified {
 		ctl = NewController(opt.AdaptiveMinSpares, opt.AdaptiveMaxSpares, opt.SpareCPUs)
 		slots = opt.AdaptiveMaxSpares
 	}
@@ -457,6 +504,11 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 				"min": ctl.Min, "max": ctl.Max, "active": ctl.Active(),
 			})
 			tr.Counter("ctl.active", 0, pidRec, int64(ctl.Active()))
+		}
+		if cert != nil {
+			tr.Instant("certify", 0, pidRec, 0, map[string]any{
+				"status": string(cert.Status), "skip": certified, "fallback": fallback,
+			})
 		}
 	}
 
@@ -503,12 +555,16 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 		tr.Instant("checkpoint.create", 0, pidRec, 0,
 			map[string]any{"epoch": 0, "pages": boundaries[0].MappedPages})
 	}
-	rec := &dplog.Recording{Program: prog.Name, Workers: opt.Workers, Seed: opt.Seed}
+	rec := &dplog.Recording{Program: prog.Name, Workers: opt.Workers, Seed: opt.Seed, Quantum: opt.Quantum}
 	pl := newPipeline(opt.SpareCPUs, opt.RecordCPUs)
 	if ctl != nil {
 		pl = newAdaptivePipeline(slots, ctl.Active(), opt.RecordCPUs)
 	}
 	var stats Stats
+	if cert != nil {
+		stats.CertStatus = string(cert.Status)
+		stats.VerifyFallback = fallback
+	}
 	var det *race.Detector
 	if opt.DetectRaces {
 		det = race.NewDetector(0)
@@ -578,6 +634,42 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			tr.Counter("log.syncops", b.Cycle, pidRec, int64(stats.SyncEvents))
 			tr.Counter("log.signals", b.Cycle, pidRec, int64(stats.Signals))
 			tr.Counter("mem.pages", b.Cycle, pidRec, mapped)
+		}
+
+		if certified {
+			// Certified commit: the certificate proves every
+			// sync-order-respecting execution reaches this boundary state, so
+			// the logged thread-parallel execution IS the verified execution.
+			// No epoch-parallel pass, no comparison, no pipeline occupancy —
+			// the epoch commits at its own boundary, and replay free-runs it
+			// under the SyncOrder gate (any mismatch there is a soundness
+			// bug, surfaced as replay.ErrCertViolated, never a divergence).
+			ep.EndHash = b.Hash
+			ep.Certified = true
+			ep.CommitHash = b.World.OutputHash()
+			rec.Epochs = append(rec.Epochs, ep)
+			stats.VerifySkipped++
+			if tr.Enabled() {
+				tr.Instant("epoch.verify.skipped", b.Cycle, pidRec, 0,
+					map[string]any{"epoch": i, "cert": string(cert.Status)})
+				tr.Instant("epoch.commit", b.Cycle, pidRec, 0,
+					map[string]any{"epoch": i, "lag": int64(0)})
+			}
+			if reg != nil {
+				reg.Add("record.verify_skipped", 1, wl)
+				reg.Observe("epoch.syscalls", int64(len(ep.Syscalls)), wl)
+				reg.Observe("epoch.syncops", int64(len(ep.SyncOrder)), wl)
+				reg.Observe("checkpoint.pages", mapped, wl)
+				reg.Add("record.cow_pages", cow, wl)
+			}
+			if opt.EpochGrowth > 1 {
+				grown := int64(float64(epochLen) * opt.EpochGrowth)
+				if grown > opt.EpochCyclesMax {
+					grown = opt.EpochCyclesMax
+				}
+				epochLen = grown
+			}
+			continue
 		}
 
 		// Epoch-parallel execution of epoch i, constrained and injected.
@@ -834,6 +926,7 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 		out.Races = det.Races()
 	}
 	out.Divergences = divInfo
+	out.Certificate = cert
 	return out, nil
 }
 

@@ -15,9 +15,16 @@ import (
 // Varints keep the log-size experiment honest: a timeslice record costs a
 // couple of bytes, as it would in any careful implementation.
 
+// Version history: v4 is the pre-certification format; v5 adds the
+// recording's scheduling quantum to the header and a per-epoch flags
+// varint (bit 0: certified). The decoder accepts both; the encoder
+// always writes v5.
 const (
 	magic         = "DPLG"
-	formatVersion = 4
+	formatVersion = 5
+	minVersion    = 4
+
+	epochFlagCertified = 1 << 0
 )
 
 var (
@@ -58,11 +65,17 @@ func (e *encoder) header(r *Recording) {
 	e.u(uint64(len(r.Epochs)))
 	e.u(r.FinalHash)
 	e.u(r.OutputHash)
+	e.i(r.Quantum)
 }
 
 // epochReplayPart encodes the sections needed for replay.
 func (e *encoder) epochReplayPart(ep *EpochLog) {
 	e.u(uint64(ep.Index))
+	var flags uint64
+	if ep.Certified {
+		flags |= epochFlagCertified
+	}
+	e.u(flags)
 	e.u(ep.StartHash)
 	e.u(ep.EndHash)
 	e.u(ep.CommitHash)
@@ -170,7 +183,7 @@ func Unmarshal(rd io.Reader) (*Recording, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != formatVersion {
+	if ver < minVersion || ver > formatVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
 	}
 	rec := &Recording{}
@@ -198,9 +211,14 @@ func Unmarshal(rd io.Reader) (*Recording, error) {
 	if rec.OutputHash, err = d.u(); err != nil {
 		return nil, err
 	}
+	if ver >= 5 {
+		if rec.Quantum, err = d.i(); err != nil {
+			return nil, err
+		}
+	}
 	rec.Epochs = make([]*EpochLog, nep)
 	for i := range rec.Epochs {
-		ep, err := d.epoch()
+		ep, err := d.epoch(ver)
 		if err != nil {
 			return nil, fmt.Errorf("dplog: epoch %d: %w", i, err)
 		}
@@ -214,13 +232,20 @@ func UnmarshalBytes(b []byte) (*Recording, error) {
 	return Unmarshal(bytes.NewReader(b))
 }
 
-func (d *decoder) epoch() (*EpochLog, error) {
+func (d *decoder) epoch(ver uint64) (*EpochLog, error) {
 	ep := &EpochLog{}
 	idx, err := d.u()
 	if err != nil {
 		return nil, err
 	}
 	ep.Index = int(idx)
+	if ver >= 5 {
+		flags, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		ep.Certified = flags&epochFlagCertified != 0
+	}
 	if ep.StartHash, err = d.u(); err != nil {
 		return nil, err
 	}

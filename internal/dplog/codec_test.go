@@ -20,12 +20,14 @@ func randomRecording(rng *rand.Rand) *Recording {
 		Seed:       rng.Int63() - rng.Int63(),
 		FinalHash:  rng.Uint64(),
 		OutputHash: rng.Uint64(),
+		Quantum:    int64(rng.Intn(5000)),
 	}
 	for e := 0; e < rng.Intn(5); e++ {
 		ep := &EpochLog{
 			Index:     e,
 			StartHash: rng.Uint64(),
 			EndHash:   rng.Uint64(),
+			Certified: rng.Intn(3) == 0,
 		}
 		for i := 0; i < rng.Intn(6); i++ {
 			ep.Targets = append(ep.Targets, rng.Uint64()>>16)
@@ -184,6 +186,62 @@ func TestSizesAndCounts(t *testing.T) {
 	// Full encoding is exactly the marshalled length.
 	if got := len(MarshalBytes(rec)); got != fullSize {
 		t.Fatalf("FullSize=%d but MarshalBytes=%d", fullSize, got)
+	}
+	// Certifying an epoch moves its sync order into the replay state.
+	rec.Epochs[0].Certified = true
+	if grown := rec.ReplaySize(); grown <= replaySize {
+		t.Fatalf("certified ReplaySize=%d, want > uncertified %d", grown, replaySize)
+	}
+	if rec.FullSize() != fullSize {
+		t.Fatalf("FullSize changed with certification: %d vs %d", rec.FullSize(), fullSize)
+	}
+}
+
+// TestV4StreamDecodes pins backward compatibility: a pre-certification
+// v4 stream (no header quantum, no per-epoch flags) must still load,
+// with Quantum zero and no epoch certified.
+func TestV4StreamDecodes(t *testing.T) {
+	var buf bytes.Buffer
+	e := newEncoder(&buf)
+	buf.WriteString(magic)
+	e.u(4)
+	e.str("legacy")
+	e.u(2)     // workers
+	e.i(7)     // seed
+	e.u(1)     // epochs
+	e.u(0xabc) // final hash
+	e.u(0xdef) // output hash
+	e.u(3)     // epoch index (no flags varint in v4)
+	e.u(0x11)  // start hash
+	e.u(0x22)  // end hash
+	e.u(0x33)  // commit hash
+	e.u(1)     // targets
+	e.u(40)    //   target[0]
+	e.u(1)     // slices
+	e.u(0)     //   tid
+	e.u(40)    //   n
+	e.u(0)     // syscalls
+	e.u(0)     // signals
+	e.u(1)     // sync ops
+	e.u(1)     //   tid
+	e.u(0)     //   kind
+	e.i(9)     //   id
+	rec, err := UnmarshalBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Program != "legacy" || rec.Quantum != 0 {
+		t.Fatalf("header: %+v", rec)
+	}
+	ep := rec.Epochs[0]
+	if ep.Certified || ep.Index != 3 || ep.StartHash != 0x11 || len(ep.SyncOrder) != 1 {
+		t.Fatalf("epoch: %+v", ep)
+	}
+	// And a version below the window is rejected.
+	old := MarshalBytes(&Recording{Program: "x"})
+	old[4] = 3
+	if _, err := UnmarshalBytes(old); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("v3 accepted: %v", err)
 	}
 }
 

@@ -71,7 +71,8 @@ type EpochLog struct {
 
 	// SyncOrder is the gated sync-op order observed by the thread-parallel
 	// run within this epoch. It is consumed by the epoch-parallel logging
-	// run (to constrain it) and is not needed for replay.
+	// run (to constrain it) and is not needed for replay — except for
+	// certified epochs, where it IS the replay log (see Certified).
 	SyncOrder []SyncRecord
 
 	// Syscalls are the syscall results retired within this epoch, in global
@@ -85,7 +86,16 @@ type EpochLog struct {
 
 	// Schedule is the epoch-parallel uniprocessor timeslice log — together
 	// with Syscalls and Signals, the complete replay log for this epoch.
+	// Nil for certified epochs, which never ran epoch-parallel.
 	Schedule []Slice
+
+	// Certified marks an epoch committed without the epoch-parallel
+	// verification pass, on the strength of a race-free static certificate
+	// (analyze.Certificate). Such an epoch has no Schedule; replay instead
+	// free-runs under the SyncOrder gate, which the certificate proves
+	// sufficient to reproduce EndHash. A hash mismatch replaying a
+	// certified epoch is a soundness bug, not a divergence.
+	Certified bool
 
 	// StartHash and EndHash are the architectural state hashes at the
 	// epoch's boundaries, recorded for replay verification.
@@ -113,6 +123,12 @@ type Recording struct {
 	// OutputHash summarises the external output the guest produced, so
 	// replayed runs can be checked against recorded output commits.
 	OutputHash uint64
+
+	// Quantum is the uniprocessor scheduling quantum the recorder would
+	// have used for the epoch-parallel run. Certified epochs carry no
+	// Schedule, so replay needs it to reconstruct the free-run timeslicing
+	// deterministically. Zero means the scheduler default.
+	Quantum int64
 }
 
 // Slices returns the total number of timeslice records.
@@ -153,15 +169,20 @@ func (r *Recording) SignalCount() int {
 
 // ReplaySize reports the encoded size in bytes of the information required
 // to replay the execution: schedules, syscall records, and epoch targets.
-// The sync-order log is excluded — it exists only to steer the
-// epoch-parallel run during recording and is discarded afterwards, exactly
-// as in the paper.
+// For ordinary epochs the sync-order log is excluded — it exists only to
+// steer the epoch-parallel run during recording and is discarded
+// afterwards, exactly as in the paper. A certified epoch has no schedule
+// and replays from its sync order instead, so there the sync part IS
+// replay state and counts.
 func (r *Recording) ReplaySize() int {
 	var w countWriter
 	enc := newEncoder(&w)
 	enc.header(r)
 	for _, e := range r.Epochs {
 		enc.epochReplayPart(e)
+		if e.Certified {
+			enc.epochSyncPart(e)
+		}
 	}
 	return w.n
 }

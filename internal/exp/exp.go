@@ -31,6 +31,11 @@ type Config struct {
 	AdaptiveMinSpares int
 	AdaptiveMaxSpares int
 
+	// VerifyPolicy selects the recorder's epoch verification policy for
+	// every recording an experiment performs (dpbench -verify-policy).
+	// The VerifySkip experiment ignores it and compares both policies.
+	VerifyPolicy core.VerifyPolicy
+
 	// Workloads, when non-empty, overrides the default benchmark list
 	// (EvalSet) for every experiment — used by quick runs and tests.
 	Workloads []string
@@ -106,6 +111,7 @@ func record(name string, workers, spares int, cfg Config) (*core.Result, *worklo
 		Adaptive:          cfg.Adaptive,
 		AdaptiveMinSpares: cfg.AdaptiveMinSpares,
 		AdaptiveMaxSpares: cfg.AdaptiveMaxSpares,
+		VerifyPolicy:      cfg.VerifyPolicy,
 		Trace:             cfg.Trace,
 		Metrics:           cfg.Metrics,
 	})

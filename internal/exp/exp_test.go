@@ -166,3 +166,42 @@ func TestTableFormatting(t *testing.T) {
 		t.Fatalf("table output:\n%s", out)
 	}
 }
+
+func TestVerifySkipStudy(t *testing.T) {
+	cfg := Config{Seed: 13, Workloads: []string{"sigping", "racey", "kvdb"}}
+	rows := VerifySkip(cfg, 2, 2)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]VerifySkipRow{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+		// VerifySkip itself panics on the soundness cross-checks; here we
+		// check the reported numbers are coherent.
+		if r.Skipped != 0 && r.Skipped != r.Epochs {
+			t.Fatalf("partial skip is impossible by construction: %+v", r)
+		}
+		if r.Skipped == 0 && r.CertCyc != r.AlwaysCyc {
+			t.Fatalf("fallback changed the recording cost: %+v", r)
+		}
+	}
+	sp := byName["sigping"]
+	if sp.CertStatus != "race-free" || sp.Skipped != sp.Epochs || sp.Epochs == 0 {
+		t.Fatalf("sigping not certified: %+v", sp)
+	}
+	if sp.CertCyc >= sp.AlwaysCyc {
+		t.Fatalf("certified sigping shows no overhead win: %+v", sp)
+	}
+	if r := byName["racey"]; r.CertStatus != "possibly-racy" || r.Skipped != 0 {
+		t.Fatalf("racey mis-certified: %+v", r)
+	}
+	if r := byName["kvdb"]; r.CertStatus != "incomplete" || r.Skipped != 0 {
+		t.Fatalf("kvdb mis-certified: %+v", r)
+	}
+
+	var buf bytes.Buffer
+	RenderVerifySkip(&buf, cfg, 2, 2)
+	if !strings.Contains(buf.String(), "certified verify-skip") {
+		t.Fatal("render missing title")
+	}
+}

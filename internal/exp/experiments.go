@@ -693,3 +693,83 @@ func RenderAblation(w io.Writer, cfg Config) {
 	Table(w, "Ablation: divergences with vs without sync-order enforcement (4 threads)",
 		[]string{"workload", "with gate", "without gate"}, out)
 }
+
+// --- Extension: certified verify-skip ----------------------------------------
+
+// VerifySkipRow compares one workload's recording overhead under full
+// verification vs the certified skip, alongside its certificate status.
+type VerifySkipRow struct {
+	Workload   string
+	CertStatus string
+	Skipped    int // epochs committed without the epoch-parallel pass
+	Epochs     int
+	NativeCyc  int64
+	AlwaysCyc  int64 // completion, VerifyAlways
+	CertCyc    int64 // completion, VerifyCertified (== AlwaysCyc on fallback)
+	AlwaysOver float64
+	CertOver   float64
+}
+
+// VerifySkip runs every workload — the evaluation set, the racy set, and
+// sigping — under both verification policies and reports the certificate
+// decision and the overhead each policy pays. It also enforces the
+// soundness cross-checks end to end: a workload with known races must
+// never skip verification, and a certified recording must replay
+// sequentially to the same final state as its fully verified twin.
+func VerifySkip(cfg Config, workers, spares int) []VerifySkipRow {
+	cfg = cfg.norm()
+	cfg.VerifyPolicy = core.VerifyAlways
+	names := cfg.Workloads
+	if len(names) == 0 {
+		names = append(append(append([]string{}, EvalSet...), RacySet...), "sigping")
+	}
+	var rows []VerifySkipRow
+	for _, name := range names {
+		wl, _ := build(name, workers, cfg)
+		nat := native(name, workers, cfg)
+		always, _ := record(name, workers, spares, cfg)
+		ccfg := cfg
+		ccfg.VerifyPolicy = core.VerifyCertified
+		cert, cbt := record(name, workers, spares, ccfg)
+		st := cert.Stats
+		if wl.Racy && workers >= 2 && st.VerifySkipped > 0 {
+			panic(fmt.Sprintf("exp: %s is marked racy but skipped verification — soundness bug", name))
+		}
+		if st.VerifySkipped > 0 {
+			seq, err := replay.Sequential(cbt.Prog, cert.Recording, nil, nil)
+			if err != nil {
+				panic(fmt.Sprintf("exp: replaying certified %s: %v", name, err))
+			}
+			if seq.FinalHash != always.FinalHash {
+				panic(fmt.Sprintf("exp: certified %s replayed to a different state than its verified twin", name))
+			}
+		}
+		rows = append(rows, VerifySkipRow{
+			Workload:   name,
+			CertStatus: st.CertStatus,
+			Skipped:    st.VerifySkipped,
+			Epochs:     st.Epochs,
+			NativeCyc:  nat.Cycles,
+			AlwaysCyc:  always.Stats.CompletionCycles,
+			CertCyc:    st.CompletionCycles,
+			AlwaysOver: float64(always.Stats.CompletionCycles)/float64(nat.Cycles) - 1,
+			CertOver:   float64(st.CompletionCycles)/float64(nat.Cycles) - 1,
+		})
+	}
+	return rows
+}
+
+// RenderVerifySkip prints the certified verify-skip study.
+func RenderVerifySkip(w io.Writer, cfg Config, workers, spares int) {
+	rows := VerifySkip(cfg, workers, spares)
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Workload, r.CertStatus,
+			fmt.Sprintf("%d/%d", r.Skipped, r.Epochs),
+			fmt.Sprint(r.NativeCyc), fmt.Sprint(r.AlwaysCyc), fmt.Sprint(r.CertCyc),
+			pct(r.AlwaysOver), pct(r.CertOver)}
+	}
+	Table(w, fmt.Sprintf("Extension: certified verify-skip (%d threads, %d spares)", workers, spares),
+		[]string{"workload", "certificate", "skipped", "native cyc", "always cyc", "certified cyc",
+			"overhead always", "overhead certified"}, out)
+}

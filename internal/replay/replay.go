@@ -16,6 +16,7 @@ package replay
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -25,6 +26,13 @@ import (
 	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
 )
+
+// ErrCertViolated reports a certified epoch that failed to reproduce its
+// recorded end state. Certified epochs were committed without the
+// epoch-parallel verification pass on the strength of a race-free static
+// certificate, so any failure here is not an ordinary replay divergence —
+// it is a soundness bug in the certificate and must be treated as fatal.
+var ErrCertViolated = errors.New("replay: certified epoch violated its race-freedom certificate")
 
 // Result reports a completed replay.
 type Result struct {
@@ -43,8 +51,13 @@ func epochCost(uniCycles int64, injected int, costs *vm.CostModel) int64 {
 // runEpoch replays one epoch on machine m (already positioned at the
 // epoch's start state) and verifies its end hash. When buf is non-nil the
 // uniprocessor scheduler traces each followed timeslice into it with
-// epoch-local timestamps.
-func runEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel, buf *trace.Sink) (int64, error) {
+// epoch-local timestamps. Certified epochs carry no timeslice schedule
+// and dispatch to the sync-order free run instead; quantum is the
+// recording's scheduling quantum for that path (zero = default).
+func runEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel, quantum int64, buf *trace.Sink) (int64, error) {
+	if ep.Certified {
+		return runCertifiedEpoch(m, ep, costs, quantum, buf)
+	}
 	inj := epoch.NewInjectOS(ep.Syscalls)
 	m.OS = inj
 	sigs := epoch.NewInjectSignals(ep.Signals)
@@ -67,6 +80,56 @@ func runEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel, buf *trace
 			ep.Index, h, ep.EndHash)
 	}
 	return epochCost(uni.Cycles, inj.Injected, costs), nil
+}
+
+// runCertifiedEpoch replays a certified epoch: no timeslice schedule was
+// ever produced, so the threads free-run timesliced under the recorded
+// sync-order gate, exactly like the epoch-parallel logging run the
+// recorder skipped. The certificate asserts any sync-order-respecting
+// execution reaches the recorded end state, so every cross-check failure
+// wraps ErrCertViolated rather than reporting a divergence.
+func runCertifiedEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel, quantum int64, buf *trace.Sink) (int64, error) {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: epoch %d: %s", ErrCertViolated, ep.Index, fmt.Sprintf(format, args...))
+	}
+	inj := epoch.NewInjectOS(ep.Syscalls)
+	m.OS = inj
+	sigs := epoch.NewInjectSignals(ep.Signals)
+	m.Hooks.PendingSignal = sigs.Pending
+	gate := epoch.NewGate(ep.SyncOrder)
+	m.Hooks.MayAcquire = gate.MayAcquire
+	m.Hooks.OnSync = gate.OnSync
+	// Sequential and segment replay reuse the machine for the following
+	// epochs, which must not run against this epoch's gate.
+	defer func() {
+		m.Hooks.MayAcquire = nil
+		m.Hooks.OnSync = nil
+	}()
+	uni := sched.NewUni(m)
+	if quantum > 0 {
+		uni.Quantum = quantum
+	}
+	uni.Targets = ep.Targets
+	uni.Trace = buf
+	if err := uni.Run(); err != nil {
+		return 0, fail("%v", err)
+	}
+	if r := gate.Remaining(); r != 0 {
+		return 0, fail("%d recorded sync ops never performed", r)
+	}
+	if gateErr := gate.Err(); gateErr != "" {
+		return 0, fail("%s", gateErr)
+	}
+	if r := inj.Remaining(); r != 0 {
+		return 0, fail("%d recorded syscalls never issued", r)
+	}
+	if r := sigs.Remaining(); r != 0 {
+		return 0, fail("%d recorded signals never delivered", r)
+	}
+	if h := m.StateHash(); h != ep.EndHash {
+		return 0, fail("end state hash %016x != recorded %016x", h, ep.EndHash)
+	}
+	return epochCost(uni.Cycles, inj.Injected, costs) + int64(gate.Used())*costs.EnforceSyncEvent, nil
 }
 
 // ctxErr reports a context's error once it is done; a nil context never
@@ -117,7 +180,7 @@ func SequentialCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, 
 		if trace.Enabled(sink) {
 			buf = trace.NewSink()
 		}
-		c, err := runEpoch(m, ep, costs, buf)
+		c, err := runEpoch(m, ep, costs, rec.Quantum, buf)
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +247,7 @@ func ParallelCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, bo
 				return
 			}
 			m := boundaries[i].CP.Restore(prog, nil, costs)
-			durs[i], errs[i] = runEpoch(m, ep, costs, bufs[i])
+			durs[i], errs[i] = runEpoch(m, ep, costs, rec.Quantum, bufs[i])
 		}(i, ep)
 	}
 	wg.Wait()
@@ -322,7 +385,7 @@ func ParallelSparseCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recordi
 				if segbuf.Enabled() {
 					epb = trace.NewSink()
 				}
-				c, err := runEpoch(m, ep, costs, epb)
+				c, err := runEpoch(m, ep, costs, rec.Quantum, epb)
 				if err != nil {
 					errs[i] = err
 					return
@@ -393,7 +456,7 @@ func Checkpoints(ctx context.Context, prog *vm.Program, rec *dplog.Recording, co
 			Hash:        ep.StartHash,
 			MappedPages: m.Mem.PageCount(),
 		})
-		c, err := runEpoch(m, ep, costs, nil)
+		c, err := runEpoch(m, ep, costs, rec.Quantum, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"doubleplay/internal/core"
 	"doubleplay/internal/workloads"
 )
 
@@ -84,6 +85,13 @@ type Spec struct {
 	EpochCycles int64   `json:"epoch_cycles,omitempty"`
 	Growth      float64 `json:"growth,omitempty"`
 	DetectRaces bool    `json:"detect_races,omitempty"`
+
+	// VerifyPolicy selects the recorder's epoch verification policy for
+	// record/verify jobs: "" or "always" runs the epoch-parallel pass for
+	// every epoch; "certified" skips it when the static race-freedom
+	// certificate proves the workload safe (falling back to always
+	// otherwise — the job's stats.json records the decision).
+	VerifyPolicy string `json:"verify_policy,omitempty"`
 
 	// Adaptive enables the recorder's spare-slot feedback controller
 	// (record/verify jobs), bounded to [MinSpares, MaxSpares] active
@@ -184,6 +192,9 @@ func (sp *Spec) Validate(jobExists func(id string) bool) error {
 	if sp.MinSpares > 0 && sp.MaxSpares > 0 && sp.MaxSpares < sp.MinSpares {
 		return fmt.Errorf("max_spares must be >= min_spares")
 	}
+	if _, err := core.ParseVerifyPolicy(sp.VerifyPolicy); err != nil {
+		return fmt.Errorf("verify_policy %q: want always or certified", sp.VerifyPolicy)
+	}
 	return nil
 }
 
@@ -199,6 +210,11 @@ type ResultSummary struct {
 	Recording   string `json:"recording,omitempty"` // blob digest
 	TraceEvents int    `json:"trace_events,omitempty"`
 	TraceDrops  int    `json:"trace_dropped,omitempty"`
+
+	// CertStatus and VerifySkipped report the certified verify-skip
+	// decision for jobs submitted with verify_policy "certified".
+	CertStatus    string `json:"cert_status,omitempty"`
+	VerifySkipped int    `json:"verify_skipped,omitempty"`
 }
 
 // Job is one unit of work and its full lifecycle record. The server's

@@ -86,6 +86,10 @@ func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Reco
 	if err != nil {
 		return nil, nil, err
 	}
+	policy, err := core.ParseVerifyPolicy(sp.VerifyPolicy)
+	if err != nil {
+		return nil, nil, err
+	}
 	res, err := core.Record(bt.Prog, bt.World, core.Options{
 		Workers:           sp.Workers,
 		RecordCPUs:        sp.Workers,
@@ -93,6 +97,7 @@ func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Reco
 		EpochCycles:       sp.EpochCycles,
 		EpochGrowth:       sp.Growth,
 		Seed:              sp.Seed,
+		VerifyPolicy:      policy,
 		DetectRaces:       sp.DetectRaces,
 		Adaptive:          sp.Adaptive,
 		AdaptiveMinSpares: sp.MinSpares,
@@ -118,6 +123,8 @@ func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Reco
 	sum.Divergences = res.Stats.Divergences
 	sum.ReplayBytes = res.Stats.ReplayBytes
 	sum.Races = len(res.Races)
+	sum.CertStatus = res.Stats.CertStatus
+	sum.VerifySkipped = res.Stats.VerifySkipped
 	return res, bt, nil
 }
 

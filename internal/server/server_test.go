@@ -265,17 +265,53 @@ func TestVerifyJob(t *testing.T) {
 	}
 }
 
+func TestCertifiedVerifyPolicyJob(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1})
+
+	// sigping is certified race-free: the recorder must skip every epoch
+	// and the stored recording must still replay by id.
+	id := submit(t, ts, map[string]any{
+		"kind": "record", "workload": "sigping", "workers": 2, "verify_policy": "certified",
+	})
+	v := waitDone(t, ts, id)
+	res := v["result"].(map[string]any)
+	if res["cert_status"] != "race-free" {
+		t.Fatalf("cert_status = %v", res["cert_status"])
+	}
+	skipped, epochs := res["verify_skipped"].(float64), res["epochs"].(float64)
+	if skipped == 0 || skipped != epochs {
+		t.Fatalf("verify_skipped = %v of %v epochs", skipped, epochs)
+	}
+	rid := submit(t, ts, map[string]any{"kind": "replay", "recording_job": id})
+	waitDone(t, ts, rid)
+
+	// A racy workload under the same policy must fall back to full
+	// verification.
+	id = submit(t, ts, map[string]any{
+		"kind": "record", "workload": "racey", "workers": 2, "verify_policy": "certified",
+	})
+	v = waitDone(t, ts, id)
+	res = v["result"].(map[string]any)
+	if res["cert_status"] != "possibly-racy" {
+		t.Fatalf("racey cert_status = %v", res["cert_status"])
+	}
+	if _, ok := res["verify_skipped"]; ok {
+		t.Fatalf("racey skipped verification: %v", res)
+	}
+}
+
 func TestSubmitValidation(t *testing.T) {
 	_, ts := newTestServer(t, server.Config{Workers: 1})
 	cases := []map[string]any{
-		{"kind": "record"},                                        // no workload
-		{"kind": "record", "workload": "nope"},                    // unknown workload
-		{"kind": "replay"},                                        // no recording_job
-		{"kind": "replay", "recording_job": "absent"},             // unknown job
-		{"kind": "juggle", "workload": "pbzip"},                   // unknown kind
-		{"kind": "record", "workload": "pbzip", "mode": "warp"},   // unknown mode
-		{"kind": "record", "workload": "pbzip", "bogus_key": 1},   // unknown field
-		{"kind": "record", "workload": "pbzip", "timeout_ms": -1}, // negative timeout
+		{"kind": "record"},                                                    // no workload
+		{"kind": "record", "workload": "nope"},                                // unknown workload
+		{"kind": "replay"},                                                    // no recording_job
+		{"kind": "replay", "recording_job": "absent"},                         // unknown job
+		{"kind": "juggle", "workload": "pbzip"},                               // unknown kind
+		{"kind": "record", "workload": "pbzip", "mode": "warp"},               // unknown mode
+		{"kind": "record", "workload": "pbzip", "bogus_key": 1},               // unknown field
+		{"kind": "record", "workload": "pbzip", "timeout_ms": -1},             // negative timeout
+		{"kind": "record", "workload": "pbzip", "verify_policy": "sometimes"}, // unknown policy
 	}
 	for _, spec := range cases {
 		if code, _ := doJSON(t, "POST", ts.URL+"/jobs", spec); code != http.StatusBadRequest {

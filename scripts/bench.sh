@@ -1,0 +1,99 @@
+#!/bin/sh
+# scripts/bench.sh — run the benchmark suite and publish its results.
+#
+#   scripts/bench.sh              # bench once, refresh BENCH_*.json
+#   COUNT=5 scripts/bench.sh      # more samples for benchstat
+#   BENCH=VerifySkip scripts/bench.sh   # subset by benchmark name regexp
+#   scripts/bench.sh baseline     # also refresh bench/baseline.txt
+#   scripts/bench.sh check        # also fail if BENCH_*.json drifted
+#
+# Artifacts:
+#
+#   BENCH_<name>.json   committed — the deterministic simulator metrics
+#                       each benchmark reports (cycle-derived, so the
+#                       values are bit-identical on any host; only ns/op
+#                       varies with the machine, and it is excluded)
+#   bench/baseline.txt  committed — raw `go test -bench` text from a
+#                       reference run, the benchstat comparison base
+#   bench/current.txt   this run's raw text (not committed)
+#
+# benchstat is optional: when it is on PATH the script compares
+# bench/baseline.txt against the fresh run, otherwise it prints how to
+# get it. Nothing is installed automatically — CI installs benchstat
+# itself; a developer machine runs fine without it.
+set -e
+cd "$(dirname "$0")/.."
+
+mode="${1:-run}"
+case "$mode" in
+run | baseline | check) ;;
+*)
+	echo "usage: scripts/bench.sh [baseline|check]" >&2
+	exit 2
+	;;
+esac
+
+COUNT="${COUNT:-3}"
+PATTERN="${BENCH:-.}"
+
+mkdir -p bench
+echo "== go test -bench=$PATTERN -count=$COUNT (benchtime=1x)"
+go test -run='^$' -bench="$PATTERN" -benchtime=1x -count="$COUNT" -timeout 60m . | tee bench/current.txt
+
+# Fold each benchmark's reported metrics (averaged over -count runs,
+# though the simulator makes every run identical) into BENCH_<name>.json.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        u = $(i + 1)
+        if (u == "ns/op" || u == "B/op" || u == "allocs/op") continue
+        k = name SUBSEP u
+        if (!(k in sum)) order[name] = (order[name] == "" ? u : order[name] "\t" u)
+        sum[k] += $i; cnt[k]++
+    }
+    runs[name]++
+}
+END {
+    for (name in runs) {
+        f = "BENCH_" tolower(name) ".json"
+        printf "{\n  \"benchmark\": \"%s\",\n  \"metrics\": {", name > f
+        n = split(order[name], us, "\t")
+        for (j = 1; j <= n; j++) {
+            u = us[j]; k = name SUBSEP u
+            printf "%s\n    \"%s\": %.6g", (j > 1 ? "," : ""), u, sum[k] / cnt[k] > f
+        }
+        print "\n  }\n}" > f
+        close(f)
+        print "  -> " f
+    }
+}' bench/current.txt
+
+if [ "$mode" = baseline ]; then
+	cp bench/current.txt bench/baseline.txt
+	echo "refreshed bench/baseline.txt"
+fi
+
+if command -v benchstat >/dev/null 2>&1; then
+	echo "== benchstat (committed baseline vs this run)"
+	benchstat bench/baseline.txt bench/current.txt
+else
+	echo "benchstat not found; skipping the timing comparison" >&2
+	echo "(go install golang.org/x/perf/cmd/benchstat@latest)" >&2
+fi
+
+if [ "$mode" = check ]; then
+	echo "== deterministic metric gate (BENCH_*.json must match the committed values)"
+	if ! git diff --exit-code -- 'BENCH_*.json'; then
+		echo "bench.sh: benchmark metrics drifted from the committed BENCH_*.json" >&2
+		echo "re-run scripts/bench.sh and commit the refreshed artifacts" >&2
+		exit 1
+	fi
+	if [ -n "$(git ls-files --others --exclude-standard -- 'BENCH_*.json')" ]; then
+		echo "bench.sh: new BENCH_*.json artifacts are not committed:" >&2
+		git ls-files --others --exclude-standard -- 'BENCH_*.json' >&2
+		exit 1
+	fi
+fi

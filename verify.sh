@@ -73,6 +73,34 @@ go run ./cmd/dptrace diff "$obs/pin.json" "$obs/a.json" >/dev/null
 go run ./cmd/dptrace lag "$obs/ad.json" | grep -q "controller: bounds" || {
     echo "adaptive: dptrace lag missing controller narration" >&2; exit 1; }
 
+echo "== certification gate (static race-freedom proof, verify-skip soundness)"
+# The certifier must classify every builtin workload, and must never mark
+# a Racy workload race-free (dpvet certify exits 1 on any such
+# disagreement with the suite's ground-truth metadata).
+go run ./cmd/dpvet certify >/dev/null
+# A certified recording skips every epoch's verification pass...
+go run ./cmd/doubleplay record -w sigping -workers 2 -seed 11 \
+    -verify-policy certified -o "$obs/cert.dplog" >"$obs/cert.out"
+grep -q "verification skipped" "$obs/cert.out" || {
+    echo "certify: sigping kept verification under -verify-policy certified" >&2; exit 1; }
+# ...and must still replay to the exact final state the fully-verified
+# recording of the same seed reaches.
+go run ./cmd/doubleplay record -w sigping -workers 2 -seed 11 \
+    -o "$obs/full.dplog" >/dev/null
+cert_hash=$(go run ./cmd/doubleplay replay -w sigping -workers 2 -log "$obs/cert.dplog" |
+    grep -o 'final hash [0-9a-f]*')
+full_hash=$(go run ./cmd/doubleplay replay -w sigping -workers 2 -log "$obs/full.dplog" |
+    grep -o 'final hash [0-9a-f]*')
+if [ -z "$cert_hash" ] || [ "$cert_hash" != "$full_hash" ]; then
+    echo "certify: certified replay diverged from the verified recording ('$cert_hash' vs '$full_hash')" >&2
+    exit 1
+fi
+# A possibly-racy workload must fall back to full verification.
+go run ./cmd/doubleplay record -w racey -workers 2 -seed 11 \
+    -verify-policy certified >"$obs/racy.out"
+grep -q "full verification kept" "$obs/racy.out" || {
+    echo "certify: racey skipped verification — soundness bug" >&2; exit 1; }
+
 echo "== serve gate (job daemon: record + replay-by-id over HTTP)"
 go build -o "$obs/doubleplay" ./cmd/doubleplay
 go build -o "$obs/dptrace" ./cmd/dptrace
