@@ -63,17 +63,27 @@ func BenchmarkFigOverheadUtilized(b *testing.B) {
 }
 
 // BenchmarkTableLogSize regenerates T2: replay-log bytes per million guest
-// instructions, DoublePlay vs CREW page-ownership logging.
+// instructions, DoublePlay vs CREW page-ownership logging, plus the v6
+// on-disk container: compressed file bytes per million instructions and
+// the read locality of the section index (bytes touched seeking the last
+// epoch vs decoding every epoch).
 func BenchmarkTableLogSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := exp.LogSize(benchCfg())
-		var dp, crew float64
+		var dp, crew, comp float64
+		var seek, scan int64
 		for _, r := range rows {
 			dp += r.DPPerM
 			crew += r.CrewPerM
+			comp += float64(r.CompBytes) / (float64(r.Retired) / 1e6)
+			seek += r.SeekBytes
+			scan += r.ScanBytes
 		}
 		b.ReportMetric(dp/float64(len(rows)), "dp_B/Minstr")
 		b.ReportMetric(crew/float64(len(rows)), "crew_B/Minstr")
+		b.ReportMetric(comp/float64(len(rows)), "file_B/Minstr")
+		b.ReportMetric(float64(seek)/float64(len(rows)), "seek_B")
+		b.ReportMetric(float64(scan)/float64(len(rows)), "scan_B")
 	}
 }
 

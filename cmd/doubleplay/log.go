@@ -1,0 +1,146 @@
+package main
+
+// The `doubleplay log` group: offline tooling over .dplog artifacts.
+//
+//	doubleplay log inspect -log pbzip.dplog            # header, section table, index health
+//	doubleplay log upgrade -log old.dplog [-o new]     # migrate v4/v5 (or repair v6) in place
+//	doubleplay log extract -log a.dplog -epochs 3..5 -o sub.dplog
+//
+// Unlike `doubleplay inspect` (which decodes every epoch and needs the
+// payload to be intact), `log inspect` works off the section index, so it
+// also diagnoses truncated or damaged files. docs/FORMAT.md documents the
+// byte layout these tools read.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"doubleplay/internal/dplog"
+)
+
+// openLog opens path as a random-access log reader. The file stays open
+// for the life of the process — the reader fetches section bytes lazily.
+func openLog(path string) *dplog.Reader {
+	f, err := os.Open(path)
+	check(err)
+	st, err := f.Stat()
+	check(err)
+	rd, err := dplog.OpenReader(f, st.Size())
+	if err != nil {
+		fatal(fmt.Sprintf("%s: %v", path, err))
+	}
+	return rd
+}
+
+// logInspect prints a log's header, per-section table, and index health
+// without decoding epochs it does not have to.
+func logInspect(path string) {
+	st, err := os.Stat(path)
+	check(err)
+	rd := openLog(path)
+	h := rd.Header()
+
+	format := fmt.Sprintf("dplog v%d (sectioned, seekable)", h.Version)
+	if rd.Legacy() {
+		format = fmt.Sprintf("dplog v%d (legacy flat stream)", h.Version)
+	}
+	fmt.Printf("file:      %s (%d bytes)\n", path, st.Size())
+	fmt.Printf("format:    %s\n", format)
+	fmt.Printf("program:   %s  workers: %d  seed: %d  quantum: %d\n", h.Program, h.Workers, h.Seed, h.Quantum)
+	fmt.Printf("hashes:    final %016x  output %016x\n", h.FinalHash, h.OutputHash)
+	fmt.Printf("sections:  %d\n", rd.NumSections())
+
+	switch {
+	case rd.Legacy():
+		fmt.Printf("index:     none (pre-v6 logs decode sequentially)\n")
+		fmt.Printf("hint:      'doubleplay log upgrade -log %s' migrates to the seekable v6 format\n", path)
+	case rd.Recovered():
+		fmt.Printf("index:     RECOVERED — trailer missing or damaged; %d sections salvaged by scan\n", rd.NumSections())
+		fmt.Printf("hint:      'doubleplay log upgrade -log %s' rewrites the salvaged sections with a fresh index\n", path)
+	default:
+		fmt.Printf("index:     ok (%d entries, crc verified)\n", rd.NumSections())
+	}
+
+	if rd.NumSections() == 0 {
+		return
+	}
+	fmt.Printf("\n  %5s %9s %8s %8s %6s  %-5s %s\n", "epoch", "offset", "stored", "raw", "ratio", "flags", "body")
+	for i, s := range rd.Sections() {
+		flags := ""
+		if s.Compressed() {
+			flags += "C"
+		}
+		if s.Certified() {
+			flags += "V"
+		}
+		if flags == "" {
+			flags = "-"
+		}
+		body := "ok"
+		if _, err := rd.EpochAt(i); err != nil {
+			body = "ERROR: " + err.Error()
+		}
+		fmt.Printf("  %5d %9d %8d %8d %6.2f  %-5s %s\n",
+			s.Epoch, s.Offset, s.Stored, s.Raw, float64(s.Stored)/float64(max(s.Raw, 1)), flags, body)
+	}
+}
+
+// logUpgrade migrates a legacy log (or repairs a damaged v6 one) to the
+// current sectioned format. With -o it writes there; otherwise it
+// replaces the input atomically via a temp file in the same directory.
+func logUpgrade(path, out string) {
+	data, err := os.ReadFile(path)
+	check(err)
+	up, changed, err := dplog.Upgrade(data)
+	if err != nil {
+		fatal(fmt.Sprintf("%s: %v", path, err))
+	}
+	if !changed && (out == "" || out == path) {
+		fmt.Printf("%s: already dplog v%d with an intact index; nothing to do\n", path, dplog.FormatVersion)
+		return
+	}
+	if out == "" || out == path {
+		// In-place: write a sibling temp file, then rename over the original.
+		tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".up*")
+		check(err)
+		if _, err := tmp.Write(up); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			fatal(err.Error())
+		}
+		check(tmp.Close())
+		check(os.Rename(tmp.Name(), path))
+		out = path
+	} else {
+		check(os.WriteFile(out, up, 0o644))
+	}
+	rd, err := dplog.OpenReaderBytes(up)
+	check(err)
+	fmt.Printf("upgraded %s -> %s: dplog v%d, %d sections, %d -> %d bytes\n",
+		path, out, rd.Header().Version, rd.NumSections(), len(data), len(up))
+}
+
+// logExtract writes epochs lo..hi of a log as a standalone dplog.
+func logExtract(path, out, epochs string) {
+	if epochs == "" {
+		usageErr("log extract requires -epochs n or -epochs n..m")
+	}
+	if out == "" {
+		usageErr("log extract requires -o <file>")
+	}
+	lo, hi, err := dplog.ParseEpochRange(epochs)
+	if err != nil {
+		usageErr(err.Error())
+	}
+	rd := openLog(path)
+	f, err := os.Create(out)
+	check(err)
+	if err := rd.WriteRange(f, lo, hi); err != nil {
+		f.Close()
+		os.Remove(out)
+		fatal(fmt.Sprintf("%s: %v", path, err))
+	}
+	check(f.Close())
+	fmt.Printf("wrote %s: epochs %d..%d of %s (%d sections)\n", out, lo, hi, path, hi-lo+1)
+}

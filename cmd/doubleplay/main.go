@@ -10,6 +10,9 @@
 //	doubleplay replay  -w pbzip -workers 4 -log pbzip.dplog [-parallel]
 //	doubleplay verify  -w pbzip -workers 4          # record + both replays in memory
 //	doubleplay inspect -log pbzip.dplog
+//	doubleplay log inspect -log pbzip.dplog         # section table + index health
+//	doubleplay log upgrade -log old.dplog           # migrate v4/v5 logs to v6 in place
+//	doubleplay log extract -log pbzip.dplog -epochs 3..5 -o sub.dplog
 //	doubleplay disasm  -w fft
 //	doubleplay races   -w webserve-racy -workers 4  # happens-before race report
 //	doubleplay serve   -listen :8421 -data ./dpdata # record/replay job daemon
@@ -48,6 +51,14 @@ func main() {
 		usageErr("missing command")
 	}
 	cmd, args := os.Args[1], os.Args[2:]
+	// The `log` group nests one level: fold "log inspect" into a single
+	// command name before flag parsing.
+	if cmd == "log" {
+		if len(args) == 0 {
+			usageErr("log requires a subcommand: inspect, upgrade, extract")
+		}
+		cmd, args = "log "+args[0], args[1:]
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
@@ -59,6 +70,7 @@ func main() {
 		epochLen    = fs.Int64("epoch", core.DefaultEpochCycles, "epoch length in cycles")
 		logPath     = fs.String("log", "", "recording file to read")
 		outPath     = fs.String("o", "", "recording file to write")
+		epochRange  = fs.String("epochs", "", "log extract: epoch range, n or n..m")
 		parallel    = fs.Bool("parallel", false, "replay epochs in parallel (verify-time only)")
 		stride      = fs.Int("stride", 0, "also verify sparse segment-parallel replay with this checkpoint stride")
 		detect      = fs.Bool("detect-races", false, "run the happens-before detector during recording")
@@ -166,7 +178,8 @@ func main() {
 			check(err)
 			check(dplog.Marshal(f, res.Recording))
 			check(f.Close())
-			fmt.Printf("wrote %s (%d bytes replay log)\n", *outPath, res.Stats.ReplayBytes)
+			fmt.Printf("wrote %s (%d bytes on disk, %d bytes replay payload)\n",
+				*outPath, res.Stats.FileBytes, res.Stats.ReplayBytes)
 		}
 		flushTrace()
 		flushMetrics()
@@ -229,6 +242,24 @@ func main() {
 			fmt.Printf("  epoch %3d: %4d slices, %4d syscalls, %2d signals, %4d sync ops, %d threads, end %016x commit %016x\n",
 				ep.Index, len(ep.Schedule), len(ep.Syscalls), len(ep.Signals), len(ep.SyncOrder), len(ep.Targets), ep.EndHash, ep.CommitHash)
 		}
+
+	case "log inspect":
+		if *logPath == "" {
+			usageErr("log inspect requires -log")
+		}
+		logInspect(*logPath)
+
+	case "log upgrade":
+		if *logPath == "" {
+			usageErr("log upgrade requires -log")
+		}
+		logUpgrade(*logPath, *outPath)
+
+	case "log extract":
+		if *logPath == "" {
+			usageErr("log extract requires -log")
+		}
+		logExtract(*logPath, *outPath, *epochRange)
 
 	case "disasm":
 		bt := mustBuild(*wlName, *workers, *scale, *seed)
@@ -359,7 +390,8 @@ func printStats(name string, res *core.Result) {
 		name, s.Epochs, s.Retired, s.Syscalls, s.SyncEvents, s.Slices)
 	fmt.Printf("  time: thread-parallel %d cyc, completion %d cyc; divergences %d (adopt %d, rerun %d)\n",
 		s.ThreadParallelCycles, s.CompletionCycles, s.Divergences, s.HashRecoveries, s.RerunRecoveries)
-	fmt.Printf("  log: %d bytes replay, %d bytes with sync order\n", s.ReplayBytes, s.FullBytes)
+	fmt.Printf("  log: %d bytes replay, %d bytes with sync order, %d bytes on disk\n",
+		s.ReplayBytes, s.FullBytes, s.FileBytes)
 	if s.CertStatus != "" {
 		if s.VerifySkipped > 0 {
 			fmt.Printf("  certificate: %s; verification skipped for all %d epochs\n",
@@ -412,7 +444,11 @@ commands:
   record   record a workload (optionally -o file.dplog)
   replay   replay a recording from -log against a rebuilt workload
   verify   record + replay in memory, checking every hash and the guest self-check
-  inspect  print a recording's per-epoch log structure
+  inspect  print a recording's per-epoch log structure (decodes every epoch)
+  log      .dplog file tooling (see docs/FORMAT.md):
+             log inspect -log f.dplog             header, section table, index health
+             log upgrade -log f.dplog [-o out]    migrate v4/v5 or repair v6, in place by default
+             log extract -log f.dplog -epochs n..m -o out
   disasm   disassemble a workload's guest program
   races    run the happens-before detector over a workload
   serve    run the record/replay job daemon (see docs/SERVER.md)`)

@@ -196,8 +196,40 @@ func ReplayParallelTraced(prog *Program, rec *Recording, boundaries []*Boundary,
 // SaveRecording writes a recording in the binary log format.
 func SaveRecording(w io.Writer, rec *Recording) error { return dplog.Marshal(w, rec) }
 
-// LoadRecording reads a recording written by SaveRecording.
+// LoadRecording reads a recording written by SaveRecording. All on-disk
+// format versions decode; see docs/FORMAT.md.
 func LoadRecording(r io.Reader) (*Recording, error) { return dplog.Unmarshal(r) }
+
+// LogReader is a random-access view of a stored recording: the v6 log
+// format keeps one self-contained section per epoch behind a trailing
+// offset index, so a reader can seek straight to epoch N without
+// decoding — or even touching — the epochs before it. Legacy v4/v5 logs
+// open through the same API (fully decoded up front). Readers are safe
+// for concurrent use. See docs/FORMAT.md for the byte layout.
+type LogReader = dplog.Reader
+
+// LogHeader is a stored recording's run metadata.
+type LogHeader = dplog.Header
+
+// LogSection describes one epoch section of an opened log: its epoch id,
+// byte offset, stored and uncompressed sizes, flags, and checksum.
+type LogSection = dplog.SectionInfo
+
+// OpenRecording opens an encoded recording for random access without
+// decoding its epochs.
+func OpenRecording(data []byte) (*LogReader, error) { return dplog.OpenReaderBytes(data) }
+
+// OpenRecordingAt is OpenRecording over an io.ReaderAt (e.g. an *os.File),
+// reading only the header, the index, and the sections actually seeked.
+func OpenRecordingAt(r io.ReaderAt, size int64) (*LogReader, error) {
+	return dplog.OpenReader(r, size)
+}
+
+// UpgradeRecording migrates an encoded recording to the current sectioned
+// format: legacy v4/v5 logs are re-encoded, and v6 logs with a damaged
+// index are repaired from their recoverable sections. It returns the
+// (possibly unchanged) bytes and whether a rewrite happened.
+func UpgradeRecording(data []byte) ([]byte, bool, error) { return dplog.Upgrade(data) }
 
 // Workloads lists the builtin benchmark names in presentation order.
 func Workloads() []string {

@@ -206,6 +206,7 @@ type Stats struct {
 
 	ReplayBytes int // encoded size of the replay log
 	FullBytes   int // including the transient sync-order log
+	FileBytes   int // actual on-disk dplog v6 size (sectioned, compressed)
 
 	// VerifySkipped counts epochs committed directly from the logged
 	// thread-parallel execution under VerifyCertified. Either zero or
@@ -887,6 +888,7 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 	stats.CompletionCycles = pl.completion(par.WallTime())
 	stats.ReplayBytes = rec.ReplaySize()
 	stats.FullBytes = rec.FullSize()
+	stats.FileBytes = len(dplog.MarshalBytes(rec))
 	stats.ActiveSpares = opt.SpareCPUs
 	if ctl != nil {
 		stats.ActiveSpares = ctl.Active()
@@ -910,6 +912,7 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 		reg.Set("record.completion_cycles", float64(stats.CompletionCycles), wl)
 		reg.Set("record.thread_parallel_cycles", float64(stats.ThreadParallelCycles), wl)
 		reg.Set("record.replay_bytes", float64(stats.ReplayBytes), wl)
+		reg.Set("record.file_bytes", float64(stats.FileBytes), wl)
 		if ctl != nil {
 			reg.Set("ctl.active_spares", float64(ctl.Active()), wl)
 		}

@@ -151,6 +151,9 @@ func TestRecordingMetadata(t *testing.T) {
 	if res.Stats.ReplayBytes <= 0 || res.Stats.FullBytes < res.Stats.ReplayBytes {
 		t.Fatalf("sizes: %+v", res.Stats)
 	}
+	if res.Stats.FileBytes <= 0 {
+		t.Fatalf("file bytes: %+v", res.Stats)
+	}
 }
 
 // TestQuickRecordReplayRandomPrograms is the central property test: for

@@ -11,20 +11,35 @@ import (
 	"doubleplay/internal/vm"
 )
 
-// The on-disk format is a magic header followed by varint-encoded sections.
-// Varints keep the log-size experiment honest: a timeslice record costs a
-// couple of bytes, as it would in any careful implementation.
+// The on-disk format is a fixed header followed by format-version-specific
+// content. Since v6 that content is one self-contained section per epoch,
+// a trailing offset index, and a fixed footer locating the index, so a
+// reader can fetch epoch N without decoding epochs 0..N-1; see section.go
+// for the sectioned layer and docs/FORMAT.md for the normative byte-level
+// specification. Varints keep the log-size experiment honest: a timeslice
+// record costs a couple of bytes, as it would in any careful
+// implementation.
 
 // Version history: v4 is the pre-certification format; v5 adds the
 // recording's scheduling quantum to the header and a per-epoch flags
-// varint (bit 0: certified). The decoder accepts both; the encoder
-// always writes v5.
+// varint (bit 0: certified); v6 wraps each epoch in a framed, optionally
+// DEFLATE-compressed section behind an offset index. The decoder accepts
+// v4..v6 (version-sniffed); the encoder always writes v6. The appendix of
+// docs/FORMAT.md specifies the retired layouts.
+
+// FormatVersion is the log format version the encoder writes.
+const FormatVersion = formatVersion
+
 const (
 	magic         = "DPLG"
-	formatVersion = 5
+	formatVersion = 6
 	minVersion    = 4
 
 	epochFlagCertified = 1 << 0
+
+	// maxEpochs bounds the per-file section count (and the legacy epoch
+	// count) against hostile headers.
+	maxEpochs = 1 << 24
 )
 
 var (
@@ -32,7 +47,49 @@ var (
 	ErrBadMagic = errors.New("dplog: bad magic")
 	// ErrBadVersion reports an unsupported format version.
 	ErrBadVersion = errors.New("dplog: unsupported format version")
+	// ErrNoEpoch reports a Seek or range request for an epoch the log does
+	// not contain.
+	ErrNoEpoch = errors.New("dplog: no such epoch")
 )
+
+// Header is the decoded fixed header of a dplog file. It is identical
+// across v4..v6 except that v4 has no Quantum field (decoded as zero).
+type Header struct {
+	Version    int
+	Program    string
+	Workers    int
+	Seed       int64
+	Sections   int // number of epoch sections stored in this file
+	FinalHash  uint64
+	OutputHash uint64
+	Quantum    int64
+}
+
+// headerOf derives the header a full encoding of r carries.
+func headerOf(r *Recording) Header {
+	return Header{
+		Version:    formatVersion,
+		Program:    r.Program,
+		Workers:    r.Workers,
+		Seed:       r.Seed,
+		Sections:   len(r.Epochs),
+		FinalHash:  r.FinalHash,
+		OutputHash: r.OutputHash,
+		Quantum:    r.Quantum,
+	}
+}
+
+// recordingOf builds the epoch-less Recording shell a header describes.
+func recordingOf(h Header) *Recording {
+	return &Recording{
+		Program:    h.Program,
+		Workers:    h.Workers,
+		Seed:       h.Seed,
+		FinalHash:  h.FinalHash,
+		OutputHash: h.OutputHash,
+		Quantum:    h.Quantum,
+	}
+}
 
 type encoder struct {
 	w   io.Writer
@@ -56,16 +113,24 @@ func (e *encoder) str(s string) {
 	io.WriteString(e.w, s)
 }
 
-func (e *encoder) header(r *Recording) {
+func (e *encoder) byte(b byte) {
+	e.buf[0] = b
+	e.w.Write(e.buf[:1])
+}
+
+// header writes the fixed header. The section count is passed separately
+// so a range extraction (Reader.WriteRange) can write a subset file that
+// reuses the original recording's metadata.
+func (e *encoder) header(h Header, sections int) {
 	io.WriteString(e.w, magic)
 	e.u(formatVersion)
-	e.str(r.Program)
-	e.u(uint64(r.Workers))
-	e.i(r.Seed)
-	e.u(uint64(len(r.Epochs)))
-	e.u(r.FinalHash)
-	e.u(r.OutputHash)
-	e.i(r.Quantum)
+	e.str(h.Program)
+	e.u(uint64(h.Workers))
+	e.i(h.Seed)
+	e.u(uint64(sections))
+	e.u(h.FinalHash)
+	e.u(h.OutputHash)
+	e.i(h.Quantum)
 }
 
 // epochReplayPart encodes the sections needed for replay.
@@ -127,16 +192,43 @@ func (e *encoder) syscall(r *SyscallRecord) {
 	}
 }
 
+// encodeEpochBody encodes one epoch's complete section payload: the
+// replay part followed by the sync-order part, exactly the v5 per-epoch
+// layout.
+func encodeEpochBody(ep *EpochLog) []byte {
+	var buf bytes.Buffer
+	e := newEncoder(&buf)
+	e.epochReplayPart(ep)
+	e.epochSyncPart(ep)
+	return buf.Bytes()
+}
+
+// EncodeOptions tune the v6 encoder.
+type EncodeOptions struct {
+	// Compress enables per-section DEFLATE: each section is compressed
+	// independently and kept compressed only when that shrinks it, so
+	// tiny sections stay raw. Marshal uses Compress: true.
+	Compress bool
+}
+
 // Marshal encodes the full recording (replay sections plus sync-order
-// sections) to w.
+// sections) to w in the current sectioned format with per-section
+// compression.
 func Marshal(w io.Writer, r *Recording) error {
+	return MarshalWith(w, r, EncodeOptions{Compress: true})
+}
+
+// MarshalWith is Marshal with explicit encoding options.
+func MarshalWith(w io.Writer, r *Recording, opt EncodeOptions) error {
 	bw := bufio.NewWriter(w)
-	enc := newEncoder(bw)
-	enc.header(r)
+	ow := &offsetWriter{w: bw}
+	enc := newEncoder(ow)
+	enc.header(headerOf(r), len(r.Epochs))
+	entries := make([]SectionInfo, 0, len(r.Epochs))
 	for _, ep := range r.Epochs {
-		enc.epochReplayPart(ep)
-		enc.epochSyncPart(ep)
+		entries = append(entries, enc.section(ep, ow.n, opt.Compress))
 	}
+	enc.indexAndFooter(ow.n, entries)
 	return bw.Flush()
 }
 
@@ -147,8 +239,37 @@ func MarshalBytes(r *Recording) []byte {
 	return buf.Bytes()
 }
 
+// MarshalBytesWith encodes the recording into a byte slice with explicit
+// encoding options.
+func MarshalBytesWith(r *Recording, opt EncodeOptions) []byte {
+	var buf bytes.Buffer
+	MarshalWith(&buf, r, opt)
+	return buf.Bytes()
+}
+
+// offsetWriter tracks the file offset of everything written through it,
+// so the encoder can build the section index as it goes.
+type offsetWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (ow *offsetWriter) Write(p []byte) (int, error) {
+	n, err := ow.w.Write(p)
+	ow.n += int64(n)
+	return n, err
+}
+
+// byteScanner is the reader surface the decoder needs: sequential reads
+// plus single bytes (for varints). Both bufio.Reader and the positioned
+// breader satisfy it.
+type byteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
 type decoder struct {
-	r *bufio.Reader
+	r byteScanner
 }
 
 func (d *decoder) u() (uint64, error) { return binary.ReadUvarint(d.r) }
@@ -169,60 +290,84 @@ func (d *decoder) str() (string, error) {
 	return string(b), nil
 }
 
-// Unmarshal decodes a recording from r.
-func Unmarshal(rd io.Reader) (*Recording, error) {
-	d := &decoder{r: bufio.NewReader(rd)}
+// header decodes the magic, version, and fixed header fields.
+func (d *decoder) header() (Header, error) {
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(d.r, head); err != nil {
-		return nil, err
+		return Header{}, err
 	}
 	if string(head) != magic {
-		return nil, ErrBadMagic
+		return Header{}, ErrBadMagic
 	}
 	ver, err := d.u()
 	if err != nil {
-		return nil, err
+		return Header{}, err
 	}
 	if ver < minVersion || ver > formatVersion {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+		return Header{}, fmt.Errorf("%w: %d", ErrBadVersion, ver)
 	}
-	rec := &Recording{}
-	if rec.Program, err = d.str(); err != nil {
-		return nil, err
+	h := Header{Version: int(ver)}
+	if h.Program, err = d.str(); err != nil {
+		return Header{}, err
 	}
 	workers, err := d.u()
 	if err != nil {
-		return nil, err
+		return Header{}, err
 	}
-	rec.Workers = int(workers)
-	if rec.Seed, err = d.i(); err != nil {
-		return nil, err
+	h.Workers = int(workers)
+	if h.Seed, err = d.i(); err != nil {
+		return Header{}, err
 	}
-	nep, err := d.u()
+	nsec, err := d.u()
+	if err != nil {
+		return Header{}, err
+	}
+	if nsec > maxEpochs {
+		return Header{}, fmt.Errorf("dplog: epoch count %d too large", nsec)
+	}
+	h.Sections = int(nsec)
+	if h.FinalHash, err = d.u(); err != nil {
+		return Header{}, err
+	}
+	if h.OutputHash, err = d.u(); err != nil {
+		return Header{}, err
+	}
+	if ver >= 5 {
+		if h.Quantum, err = d.i(); err != nil {
+			return Header{}, err
+		}
+	}
+	return h, nil
+}
+
+// Unmarshal decodes a recording from r, sniffing the format version:
+// current v6 sectioned streams and legacy v4/v5 flat streams both load.
+func Unmarshal(rd io.Reader) (*Recording, error) {
+	cr := &countReader{r: rd}
+	br := bufio.NewReader(cr)
+	d := &decoder{r: br}
+	h, err := d.header()
 	if err != nil {
 		return nil, err
 	}
-	if nep > 1<<24 {
-		return nil, fmt.Errorf("dplog: epoch count %d too large", nep)
-	}
-	if rec.FinalHash, err = d.u(); err != nil {
-		return nil, err
-	}
-	if rec.OutputHash, err = d.u(); err != nil {
-		return nil, err
-	}
-	if ver >= 5 {
-		if rec.Quantum, err = d.i(); err != nil {
-			return nil, err
+	rec := recordingOf(h)
+	if h.Version < 6 {
+		rec.Epochs = make([]*EpochLog, 0, capHint(uint64(h.Sections)))
+		for i := 0; i < h.Sections; i++ {
+			ep, err := d.epoch(uint64(h.Version))
+			if err != nil {
+				return nil, fmt.Errorf("dplog: epoch %d: %w", i, err)
+			}
+			rec.Epochs = append(rec.Epochs, ep)
 		}
+		return rec, nil
 	}
-	rec.Epochs = make([]*EpochLog, nep)
-	for i := range rec.Epochs {
-		ep, err := d.epoch(ver)
-		if err != nil {
-			return nil, fmt.Errorf("dplog: epoch %d: %w", i, err)
-		}
-		rec.Epochs[i] = ep
+	// v6: sections, index, footer. The exact stream position (bytes
+	// consumed from the source minus what bufio still buffers) lets the
+	// sequential decoder cross-check the index offsets it streams past.
+	pos := func() int64 { return cr.n - int64(br.Buffered()) }
+	if err := d.sectioned(rec, h.Sections, pos); err != nil {
+		return nil, err
 	}
 	return rec, nil
 }
@@ -232,6 +377,31 @@ func UnmarshalBytes(b []byte) (*Recording, error) {
 	return Unmarshal(bytes.NewReader(b))
 }
 
+// capHint bounds eager slice preallocation for attacker-controlled
+// counts: decode loops append, so a hostile length prefix can only cost
+// memory proportional to the bytes its stream actually delivers.
+func capHint(n uint64) int {
+	const max = 1 << 12
+	if n > max {
+		return max
+	}
+	return int(n)
+}
+
+// countReader counts the bytes its underlying reader delivered.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// epoch decodes one epoch body: the layout shared by the legacy flat
+// formats (ver 4/5) and the v6 section payload (ver 6, identical to 5).
 func (d *decoder) epoch(ver uint64) (*EpochLog, error) {
 	ep := &EpochLog{}
 	idx, err := d.u()
@@ -262,11 +432,13 @@ func (d *decoder) epoch(ver uint64) (*EpochLog, error) {
 	if nt > 1<<20 {
 		return nil, fmt.Errorf("target count %d too large", nt)
 	}
-	ep.Targets = make([]uint64, nt)
-	for i := range ep.Targets {
-		if ep.Targets[i], err = d.u(); err != nil {
+	ep.Targets = make([]uint64, 0, capHint(nt))
+	for i := uint64(0); i < nt; i++ {
+		t, err := d.u()
+		if err != nil {
 			return nil, err
 		}
+		ep.Targets = append(ep.Targets, t)
 	}
 	ns, err := d.u()
 	if err != nil {
@@ -275,8 +447,8 @@ func (d *decoder) epoch(ver uint64) (*EpochLog, error) {
 	if ns > 1<<28 {
 		return nil, fmt.Errorf("slice count %d too large", ns)
 	}
-	ep.Schedule = make([]Slice, ns)
-	for i := range ep.Schedule {
+	ep.Schedule = make([]Slice, 0, capHint(ns))
+	for i := uint64(0); i < ns; i++ {
 		tid, err := d.u()
 		if err != nil {
 			return nil, err
@@ -285,7 +457,7 @@ func (d *decoder) epoch(ver uint64) (*EpochLog, error) {
 		if err != nil {
 			return nil, err
 		}
-		ep.Schedule[i] = Slice{Tid: int(tid), N: n}
+		ep.Schedule = append(ep.Schedule, Slice{Tid: int(tid), N: n})
 	}
 	nsys, err := d.u()
 	if err != nil {
@@ -294,11 +466,13 @@ func (d *decoder) epoch(ver uint64) (*EpochLog, error) {
 	if nsys > 1<<28 {
 		return nil, fmt.Errorf("syscall count %d too large", nsys)
 	}
-	ep.Syscalls = make([]SyscallRecord, nsys)
-	for i := range ep.Syscalls {
-		if err := d.syscall(&ep.Syscalls[i]); err != nil {
+	ep.Syscalls = make([]SyscallRecord, 0, capHint(nsys))
+	for i := uint64(0); i < nsys; i++ {
+		var sr SyscallRecord
+		if err := d.syscall(&sr); err != nil {
 			return nil, err
 		}
+		ep.Syscalls = append(ep.Syscalls, sr)
 	}
 	nsig, err := d.u()
 	if err != nil {
@@ -308,9 +482,9 @@ func (d *decoder) epoch(ver uint64) (*EpochLog, error) {
 		return nil, fmt.Errorf("signal count %d too large", nsig)
 	}
 	if nsig > 0 {
-		ep.Signals = make([]SignalRecord, nsig)
+		ep.Signals = make([]SignalRecord, 0, capHint(nsig))
 	}
-	for i := range ep.Signals {
+	for i := uint64(0); i < nsig; i++ {
 		tid, err := d.u()
 		if err != nil {
 			return nil, err
@@ -323,7 +497,7 @@ func (d *decoder) epoch(ver uint64) (*EpochLog, error) {
 		if err != nil {
 			return nil, err
 		}
-		ep.Signals[i] = SignalRecord{Tid: int(tid), Retired: ret, Sig: sig}
+		ep.Signals = append(ep.Signals, SignalRecord{Tid: int(tid), Retired: ret, Sig: sig})
 	}
 	nsync, err := d.u()
 	if err != nil {
@@ -332,8 +506,8 @@ func (d *decoder) epoch(ver uint64) (*EpochLog, error) {
 	if nsync > 1<<28 {
 		return nil, fmt.Errorf("sync count %d too large", nsync)
 	}
-	ep.SyncOrder = make([]SyncRecord, nsync)
-	for i := range ep.SyncOrder {
+	ep.SyncOrder = make([]SyncRecord, 0, capHint(nsync))
+	for i := uint64(0); i < nsync; i++ {
 		tid, err := d.u()
 		if err != nil {
 			return nil, err
@@ -346,7 +520,7 @@ func (d *decoder) epoch(ver uint64) (*EpochLog, error) {
 		if err != nil {
 			return nil, err
 		}
-		ep.SyncOrder[i] = SyncRecord{Tid: int(tid), Kind: vm.ObjKind(kind), ID: id}
+		ep.SyncOrder = append(ep.SyncOrder, SyncRecord{Tid: int(tid), Kind: vm.ObjKind(kind), ID: id})
 	}
 	return ep, nil
 }
@@ -376,9 +550,9 @@ func (d *decoder) syscall(r *SyscallRecord) error {
 		return fmt.Errorf("write count %d too large", nw)
 	}
 	if nw > 0 {
-		r.Writes = make([]vm.MemWrite, nw)
+		r.Writes = make([]vm.MemWrite, 0, capHint(nw))
 	}
-	for i := range r.Writes {
+	for i := uint64(0); i < nw; i++ {
 		addr, err := d.i()
 		if err != nil {
 			return err
@@ -390,13 +564,15 @@ func (d *decoder) syscall(r *SyscallRecord) error {
 		if nd > 1<<24 {
 			return fmt.Errorf("write data length %d too large", nd)
 		}
-		data := make([]vm.Word, nd)
-		for j := range data {
-			if data[j], err = d.i(); err != nil {
+		data := make([]vm.Word, 0, capHint(nd))
+		for j := uint64(0); j < nd; j++ {
+			w, err := d.i()
+			if err != nil {
 				return err
 			}
+			data = append(data, w)
 		}
-		r.Writes[i] = vm.MemWrite{Addr: addr, Data: data}
+		r.Writes = append(r.Writes, vm.MemWrite{Addr: addr, Data: data})
 	}
 	return nil
 }

@@ -3,6 +3,13 @@
 // plus a compact binary codec used both for persistence and for the
 // log-size comparisons in the evaluation.
 //
+// On disk a recording is a seekable, sectioned, optionally compressed
+// container (format v6): one self-contained section per epoch behind a
+// trailing offset index, so Reader.Seek(epoch) decodes epoch N without
+// touching epochs 0..N-1, and a truncated log recovers every intact
+// section. docs/FORMAT.md is the normative byte-level specification;
+// legacy v4/v5 flat streams still decode (version-sniffed).
+//
 // The central point of the paper is visible in these types: because every
 // epoch executes on a single processor, the information needed to replay it
 // is only the timeslice schedule ([]Slice) and the syscall results — there
@@ -174,10 +181,15 @@ func (r *Recording) SignalCount() int {
 // afterwards, exactly as in the paper. A certified epoch has no schedule
 // and replays from its sync order instead, so there the sync part IS
 // replay state and counts.
+//
+// This is flat information accounting — header plus bare epoch bodies,
+// no section framing, index, or compression — so it is the stable
+// apples-to-apples metric the paper's log-size experiment reports,
+// independent of how the v6 container lays the bytes out on disk.
 func (r *Recording) ReplaySize() int {
 	var w countWriter
 	enc := newEncoder(&w)
-	enc.header(r)
+	enc.header(headerOf(r), len(r.Epochs))
 	for _, e := range r.Epochs {
 		enc.epochReplayPart(e)
 		if e.Certified {
@@ -187,11 +199,12 @@ func (r *Recording) ReplaySize() int {
 	return w.n
 }
 
-// FullSize reports the encoded size including the transient sync-order log.
+// FullSize reports the encoded size including the transient sync-order
+// log, under the same flat framing-free accounting as ReplaySize.
 func (r *Recording) FullSize() int {
 	var w countWriter
 	enc := newEncoder(&w)
-	enc.header(r)
+	enc.header(headerOf(r), len(r.Epochs))
 	for _, e := range r.Epochs {
 		enc.epochReplayPart(e)
 		enc.epochSyncPart(e)

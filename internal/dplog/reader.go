@@ -1,0 +1,462 @@
+package dplog
+
+// Reader gives random access to a recording on storage: it loads only the
+// fixed header and the trailing section index, then decodes individual
+// epoch sections on demand. Legacy v4/v5 flat streams open through the
+// same API (fully decoded up front, since they have no index), so callers
+// never need to version-sniff themselves.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// breader is a positioned sequential reader over an io.ReaderAt with a
+// small internal buffer, so varint-by-varint frame parsing does not issue
+// one ReadAt per byte. Its position is exact: pos is always the file
+// offset of the next byte it will deliver.
+type breader struct {
+	src    io.ReaderAt
+	size   int64
+	pos    int64
+	buf    [512]byte
+	bufOff int64 // file offset of buf[0]; -1 when the buffer is empty
+	bufLen int
+}
+
+func newBreader(src io.ReaderAt, size, off int64) *breader {
+	return &breader{src: src, size: size, pos: off, bufOff: -1}
+}
+
+func (b *breader) fill() error {
+	n := int64(len(b.buf))
+	if rest := b.size - b.pos; rest < n {
+		n = rest
+	}
+	if n <= 0 {
+		return io.EOF
+	}
+	m, err := b.src.ReadAt(b.buf[:n], b.pos)
+	if m == 0 {
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	b.bufOff, b.bufLen = b.pos, m
+	return nil
+}
+
+func (b *breader) buffered() []byte {
+	if b.bufOff < 0 || b.pos < b.bufOff || b.pos >= b.bufOff+int64(b.bufLen) {
+		return nil
+	}
+	return b.buf[b.pos-b.bufOff : b.bufLen]
+}
+
+func (b *breader) ReadByte() (byte, error) {
+	w := b.buffered()
+	if w == nil {
+		if err := b.fill(); err != nil {
+			return 0, err
+		}
+		w = b.buffered()
+	}
+	b.pos++
+	return w[0], nil
+}
+
+func (b *breader) Read(p []byte) (int, error) {
+	if w := b.buffered(); w != nil {
+		n := copy(p, w)
+		b.pos += int64(n)
+		return n, nil
+	}
+	if b.pos >= b.size {
+		return 0, io.EOF
+	}
+	if rest := b.size - b.pos; int64(len(p)) > rest {
+		p = p[:rest]
+	}
+	n, err := b.src.ReadAt(p, b.pos)
+	b.pos += int64(n)
+	if err == io.EOF && n > 0 {
+		err = nil
+	}
+	return n, err
+}
+
+// Reader is a seekable view of an encoded recording.
+type Reader struct {
+	src  io.ReaderAt
+	size int64
+	hdr  Header
+	// bodyOff is the file offset of the first section: where the fixed
+	// header ends, and where an index-recovery scan starts.
+	bodyOff   int64
+	index     []SectionInfo
+	byID      map[int]int // epoch id -> position in index
+	recovered bool
+	legacy    []*EpochLog // decoded epochs when the file is v4/v5
+}
+
+// OpenReader opens an encoded recording of the given size for random
+// access. For v6 files it reads the header, footer, and section index;
+// if the footer or index is unreadable (a truncated or corrupted log) it
+// falls back to a forward recovery scan over intact sections and marks
+// the reader Recovered. Legacy v4/v5 files are decoded in full.
+//
+// The returned Reader is safe for concurrent use as long as src's ReadAt
+// is (bytes.Reader and os.File both qualify).
+func OpenReader(src io.ReaderAt, size int64) (*Reader, error) {
+	br := newBreader(src, size, 0)
+	d := &decoder{r: br}
+	h, err := d.header()
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{src: src, size: size, hdr: h, bodyOff: br.pos}
+	if h.Version < 6 {
+		r.legacy = make([]*EpochLog, h.Sections)
+		for i := range r.legacy {
+			ep, err := d.epoch(uint64(h.Version))
+			if err != nil {
+				return nil, fmt.Errorf("dplog: epoch %d: %w", i, err)
+			}
+			r.legacy[i] = ep
+		}
+		return r, nil
+	}
+	if err := r.loadIndex(); err != nil {
+		r.recoverScan()
+		r.recovered = true
+	}
+	r.byID = make(map[int]int, len(r.index))
+	for i, s := range r.index {
+		r.byID[s.Epoch] = i
+	}
+	return r, nil
+}
+
+// OpenReaderBytes opens an in-memory encoded recording for random access.
+func OpenReaderBytes(b []byte) (*Reader, error) {
+	return OpenReader(bytes.NewReader(b), int64(len(b)))
+}
+
+// loadIndex reads the footer and section index from the tail of the file
+// and validates both.
+func (r *Reader) loadIndex() error {
+	if r.size < r.bodyOff+footerLen {
+		return fmt.Errorf("dplog: file too short for a footer")
+	}
+	var foot [footerLen]byte
+	if _, err := r.src.ReadAt(foot[:], r.size-footerLen); err != nil {
+		return err
+	}
+	if string(foot[12:16]) != trailerMagic {
+		return fmt.Errorf("dplog: bad trailer magic")
+	}
+	idxOff := int64(binary.LittleEndian.Uint64(foot[0:8]))
+	if idxOff < r.bodyOff || idxOff > r.size-footerLen {
+		return fmt.Errorf("dplog: footer index offset %d out of range", idxOff)
+	}
+	idx := make([]byte, r.size-footerLen-idxOff)
+	if _, err := r.src.ReadAt(idx, idxOff); err != nil {
+		return err
+	}
+	if got := crc32.ChecksumIEEE(idx); got != binary.LittleEndian.Uint32(foot[8:12]) {
+		return fmt.Errorf("dplog: index CRC mismatch")
+	}
+	if len(idx) < len(indexMagic) || string(idx[:len(indexMagic)]) != indexMagic {
+		return fmt.Errorf("dplog: bad index magic")
+	}
+	d := &decoder{r: newBytesScanner(idx[len(indexMagic):])}
+	entries, err := d.indexEntries()
+	if err != nil {
+		return err
+	}
+	if len(entries) != r.hdr.Sections {
+		return fmt.Errorf("dplog: index has %d entries, header declares %d", len(entries), r.hdr.Sections)
+	}
+	seen := make(map[int]bool, len(entries))
+	for i, s := range entries {
+		if s.Offset < r.bodyOff || s.Offset >= idxOff {
+			return fmt.Errorf("dplog: index entry %d offset %d out of range", i, s.Offset)
+		}
+		if seen[s.Epoch] {
+			return fmt.Errorf("dplog: index lists epoch %d twice", s.Epoch)
+		}
+		seen[s.Epoch] = true
+	}
+	r.index = entries
+	return nil
+}
+
+// recoverScan rebuilds the section index by walking frames forward from
+// the end of the header, keeping every section whose frame parses and
+// whose payload CRC checks, and stopping at the first damage. This is
+// the truncated-log path: everything up to the cut survives.
+func (r *Reader) recoverScan() {
+	r.index = r.index[:0]
+	br := newBreader(r.src, r.size, r.bodyOff)
+	d := &decoder{r: br}
+	for {
+		off := br.pos
+		marker, err := br.ReadByte()
+		if err != nil || marker != sectionMarker {
+			return
+		}
+		info, _, err := d.sectionHead(off)
+		if err != nil {
+			return
+		}
+		r.index = append(r.index, info)
+	}
+}
+
+// newBytesScanner adapts a byte slice to the decoder's reader surface.
+func newBytesScanner(b []byte) byteScanner { return bytes.NewReader(b) }
+
+// Header returns the file's decoded fixed header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Legacy reports whether the file predates the sectioned format (v4/v5).
+func (r *Reader) Legacy() bool { return r.legacy != nil }
+
+// Recovered reports whether the section index was rebuilt by a recovery
+// scan because the footer or index was unreadable. A recovered reader
+// may expose fewer sections than the header declares.
+func (r *Reader) Recovered() bool { return r.recovered }
+
+// NumSections returns the number of readable epoch sections.
+func (r *Reader) NumSections() int {
+	if r.legacy != nil {
+		return len(r.legacy)
+	}
+	return len(r.index)
+}
+
+// Sections returns the section index in file order. It is empty for
+// legacy files, which have no index. The returned slice is shared; treat
+// it as read-only.
+func (r *Reader) Sections() []SectionInfo { return r.index }
+
+// EpochAt decodes the section at position pos in file order, reading
+// only that section's bytes.
+func (r *Reader) EpochAt(pos int) (*EpochLog, error) {
+	if pos < 0 || pos >= r.NumSections() {
+		return nil, fmt.Errorf("%w: section position %d of %d", ErrNoEpoch, pos, r.NumSections())
+	}
+	if r.legacy != nil {
+		return r.legacy[pos], nil
+	}
+	return r.decodeSection(r.index[pos])
+}
+
+// Seek decodes the section for the given epoch id without touching any
+// other section, returning ErrNoEpoch if the log does not contain it.
+func (r *Reader) Seek(epoch int) (*EpochLog, error) {
+	if r.legacy != nil {
+		for _, ep := range r.legacy {
+			if ep.Index == epoch {
+				return ep, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: epoch %d", ErrNoEpoch, epoch)
+	}
+	pos, ok := r.byID[epoch]
+	if !ok {
+		return nil, fmt.Errorf("%w: epoch %d", ErrNoEpoch, epoch)
+	}
+	return r.decodeSection(r.index[pos])
+}
+
+// decodeSection reads and decodes exactly one section frame, verifying
+// that the frame on disk matches the index entry.
+func (r *Reader) decodeSection(info SectionInfo) (*EpochLog, error) {
+	br := newBreader(r.src, r.size, info.Offset)
+	marker, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("dplog: epoch %d: %w", info.Epoch, err)
+	}
+	if marker != sectionMarker {
+		return nil, fmt.Errorf("dplog: epoch %d: no section frame at offset %d", info.Epoch, info.Offset)
+	}
+	d := &decoder{r: br}
+	got, ep, err := d.sectionFrame(info.Offset)
+	if err != nil {
+		return nil, fmt.Errorf("dplog: epoch %d: %w", info.Epoch, err)
+	}
+	if got != info {
+		return nil, fmt.Errorf("dplog: epoch %d: section frame disagrees with index", info.Epoch)
+	}
+	return ep, nil
+}
+
+// sectionBytes returns the complete encoded frame (marker, frame fields,
+// stored payload) for an index entry, verbatim from the file.
+func (r *Reader) sectionBytes(info SectionInfo) ([]byte, SectionInfo, error) {
+	br := newBreader(r.src, r.size, info.Offset)
+	marker, err := br.ReadByte()
+	if err != nil || marker != sectionMarker {
+		return nil, info, fmt.Errorf("dplog: epoch %d: no section frame at offset %d", info.Epoch, info.Offset)
+	}
+	d := &decoder{r: br}
+	got, _, err := d.sectionHead(info.Offset)
+	if err != nil {
+		return nil, info, fmt.Errorf("dplog: epoch %d: %w", info.Epoch, err)
+	}
+	if got != info {
+		return nil, info, fmt.Errorf("dplog: epoch %d: section frame disagrees with index", info.Epoch)
+	}
+	frame := make([]byte, br.pos-info.Offset)
+	if _, err := r.src.ReadAt(frame, info.Offset); err != nil {
+		return nil, info, err
+	}
+	return frame, got, nil
+}
+
+// Range decodes epochs lo..hi inclusive by id, seeking to each.
+func (r *Reader) Range(lo, hi int) ([]*EpochLog, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("dplog: bad epoch range %d..%d", lo, hi)
+	}
+	eps := make([]*EpochLog, 0, hi-lo+1)
+	for id := lo; id <= hi; id++ {
+		ep, err := r.Seek(id)
+		if err != nil {
+			return nil, err
+		}
+		eps = append(eps, ep)
+	}
+	return eps, nil
+}
+
+// Recording decodes every readable section and returns the full
+// recording. For an intact v6 file this is identical to UnmarshalBytes
+// on the same data; for a recovered file it returns the surviving
+// prefix.
+func (r *Reader) Recording() (*Recording, error) {
+	rec := recordingOf(r.hdr)
+	n := r.NumSections()
+	rec.Epochs = make([]*EpochLog, 0, n)
+	for pos := 0; pos < n; pos++ {
+		ep, err := r.EpochAt(pos)
+		if err != nil {
+			return nil, err
+		}
+		rec.Epochs = append(rec.Epochs, ep)
+	}
+	return rec, nil
+}
+
+// WriteRange writes a standalone v6 log containing exactly epochs lo..hi
+// inclusive (by id), reusing the source header's metadata. Sections of a
+// v6 source are copied verbatim — same bytes, same flags, same CRC —
+// so a remote replayer gets exactly what the recorder wrote; legacy
+// epochs are re-encoded as fresh sections.
+func (r *Reader) WriteRange(w io.Writer, lo, hi int) error {
+	if lo > hi {
+		return fmt.Errorf("dplog: bad epoch range %d..%d", lo, hi)
+	}
+	type part struct {
+		frame []byte // verbatim v6 frame, nil for legacy epochs
+		info  SectionInfo
+		ep    *EpochLog
+	}
+	parts := make([]part, 0, hi-lo+1)
+	for id := lo; id <= hi; id++ {
+		if r.legacy != nil {
+			ep, err := r.Seek(id)
+			if err != nil {
+				return err
+			}
+			parts = append(parts, part{ep: ep})
+			continue
+		}
+		pos, ok := r.byID[id]
+		if !ok {
+			return fmt.Errorf("%w: epoch %d", ErrNoEpoch, id)
+		}
+		frame, info, err := r.sectionBytes(r.index[pos])
+		if err != nil {
+			return err
+		}
+		parts = append(parts, part{frame: frame, info: info})
+	}
+	ow := &offsetWriter{w: w}
+	enc := newEncoder(ow)
+	enc.header(r.hdr, len(parts))
+	entries := make([]SectionInfo, 0, len(parts))
+	for _, p := range parts {
+		if p.frame != nil {
+			entries = append(entries, enc.copySection(p.frame, p.info, ow.n))
+		} else {
+			entries = append(entries, enc.section(p.ep, ow.n, true))
+		}
+	}
+	enc.indexAndFooter(ow.n, entries)
+	return nil
+}
+
+// Upgrade rewrites any decodable log as the current sectioned format.
+// It returns the (possibly unchanged) encoding and whether a rewrite
+// happened: current-format intact logs pass through verbatim, legacy
+// logs are re-encoded, and recovered logs are rewritten with only their
+// surviving sections (repairing the index).
+func Upgrade(data []byte) ([]byte, bool, error) {
+	rd, err := OpenReaderBytes(data)
+	if err != nil {
+		return nil, false, err
+	}
+	if !rd.Legacy() && !rd.Recovered() {
+		return data, false, nil
+	}
+	rec, err := rd.Recording()
+	if err != nil {
+		return nil, false, err
+	}
+	return MarshalBytes(rec), true, nil
+}
+
+// ParseEpochRange parses an epoch range argument: either a single epoch
+// id "n" or an inclusive range "n..m".
+func ParseEpochRange(s string) (lo, hi int, err error) {
+	parse := func(t string) (int, error) {
+		if t == "" {
+			return 0, fmt.Errorf("empty epoch id")
+		}
+		n := 0
+		for _, c := range t {
+			if c < '0' || c > '9' {
+				return 0, fmt.Errorf("bad epoch id %q", t)
+			}
+			n = n*10 + int(c-'0')
+			if n > maxEpochs {
+				return 0, fmt.Errorf("epoch id %q too large", t)
+			}
+		}
+		return n, nil
+	}
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == '.' && s[i+1] == '.' {
+			if lo, err = parse(s[:i]); err != nil {
+				return 0, 0, err
+			}
+			if hi, err = parse(s[i+2:]); err != nil {
+				return 0, 0, err
+			}
+			if lo > hi {
+				return 0, 0, fmt.Errorf("bad epoch range %q: %d > %d", s, lo, hi)
+			}
+			return lo, hi, nil
+		}
+	}
+	if lo, err = parse(s); err != nil {
+		return 0, 0, err
+	}
+	return lo, lo, nil
+}

@@ -66,6 +66,15 @@ func TestLogSizeRowsSane(t *testing.T) {
 		if r.DPBytes > r.CrewBytes {
 			t.Fatalf("dp log larger than crew: %+v", r)
 		}
+		// Per-section compression never grows the file (sections keep the
+		// smaller encoding), and seeking one epoch must touch no more of
+		// the file than decoding every epoch does.
+		if r.CompBytes <= 0 || r.CompBytes > r.SectBytes {
+			t.Fatalf("compressed file larger than raw: %+v", r)
+		}
+		if r.SeekBytes <= 0 || r.SeekBytes > r.ScanBytes {
+			t.Fatalf("seek touched more bytes than a full scan: %+v", r)
+		}
 	}
 }
 

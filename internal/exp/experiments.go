@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
 	"doubleplay/internal/baseline"
 	"doubleplay/internal/core"
+	"doubleplay/internal/dplog"
 	"doubleplay/internal/race"
 	"doubleplay/internal/replay"
 	"doubleplay/internal/sched"
@@ -126,7 +128,10 @@ func RenderOverhead(w io.Writer, cfg Config, workers, spares int, title string) 
 
 // --- T2: log sizes -------------------------------------------------------------
 
-// LogSizeRow compares DoublePlay's replay log with the CREW ownership log.
+// LogSizeRow compares DoublePlay's replay log with the CREW ownership log,
+// and measures the v6 on-disk container: sectioned size with and without
+// per-section compression, plus the read locality the section index buys
+// (bytes touched seeking one epoch vs scanning all of them).
 type LogSizeRow struct {
 	Workload  string
 	Retired   int64
@@ -136,6 +141,49 @@ type LogSizeRow struct {
 	CrewPerM  float64
 	CrewTrans int64
 	UniBytes  int
+
+	SectBytes int   // v6 sectioned file, raw sections
+	CompBytes int   // v6 sectioned file, per-section flate (the on-disk default)
+	SeekBytes int64 // bytes touched: open + seek the last epoch
+	ScanBytes int64 // bytes touched: open + decode every epoch in order
+}
+
+// countingAt counts the bytes fetched through an io.ReaderAt.
+type countingAt struct {
+	r io.ReaderAt
+	n int64
+}
+
+func (c *countingAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := c.r.ReadAt(p, off)
+	c.n += int64(n)
+	return n, err
+}
+
+// seekCost opens an encoded log over byte-counting readers and reports
+// the bytes touched by (a) seeking straight to the last epoch and (b)
+// decoding every epoch in order through the same reader API.
+func seekCost(name string, data []byte) (seek, scan int64) {
+	open := func() (*countingAt, *dplog.Reader) {
+		cr := &countingAt{r: bytes.NewReader(data)}
+		rd, err := dplog.OpenReader(cr, int64(len(data)))
+		if err != nil {
+			panic(fmt.Sprintf("exp: open log %s: %v", name, err))
+		}
+		return cr, rd
+	}
+	cr, rd := open()
+	if _, err := rd.Seek(rd.NumSections() - 1); err != nil {
+		panic(fmt.Sprintf("exp: seek %s: %v", name, err))
+	}
+	seek = cr.n
+	cr, rd = open()
+	for i := 0; i < rd.NumSections(); i++ {
+		if _, err := rd.EpochAt(i); err != nil {
+			panic(fmt.Sprintf("exp: scan %s: %v", name, err))
+		}
+	}
+	return seek, cr.n
 }
 
 // LogSize measures log sizes at 4 worker threads.
@@ -155,6 +203,9 @@ func LogSize(cfg Config) []LogSizeRow {
 		if err != nil {
 			panic(fmt.Sprintf("exp: uni %s: %v", name, err))
 		}
+		raw := dplog.MarshalBytesWith(res.Recording, dplog.EncodeOptions{})
+		comp := dplog.MarshalBytes(res.Recording)
+		seekB, scanB := seekCost(name, comp)
 		m := float64(res.Stats.Retired) / 1e6
 		rows = append(rows, LogSizeRow{
 			Workload:  name,
@@ -165,6 +216,10 @@ func LogSize(cfg Config) []LogSizeRow {
 			CrewPerM:  float64(crew.LogBytes) / m,
 			CrewTrans: crew.Transitions,
 			UniBytes:  uni.LogBytes,
+			SectBytes: len(raw),
+			CompBytes: len(comp),
+			SeekBytes: seekB,
+			ScanBytes: scanB,
 		})
 	}
 	return rows
@@ -177,10 +232,13 @@ func RenderLogSize(w io.Writer, cfg Config) {
 	for i, r := range rows {
 		out[i] = []string{r.Workload, fmt.Sprint(r.Retired), fmt.Sprint(r.DPBytes),
 			fmt.Sprintf("%.0f", r.DPPerM), fmt.Sprint(r.CrewBytes), fmt.Sprintf("%.0f", r.CrewPerM),
-			fmt.Sprint(r.CrewTrans), fmt.Sprint(r.UniBytes)}
+			fmt.Sprint(r.CrewTrans), fmt.Sprint(r.UniBytes),
+			fmt.Sprint(r.SectBytes), fmt.Sprint(r.CompBytes),
+			fmt.Sprint(r.SeekBytes), fmt.Sprint(r.ScanBytes)}
 	}
 	Table(w, "T2: log size, DoublePlay vs CREW order logging (4 threads)",
-		[]string{"workload", "instrs", "dp bytes", "dp B/Minstr", "crew bytes", "crew B/Minstr", "crew faults", "uni bytes"}, out)
+		[]string{"workload", "instrs", "dp bytes", "dp B/Minstr", "crew bytes", "crew B/Minstr",
+			"crew faults", "uni bytes", "v6 raw", "v6 file", "seek B", "scan B"}, out)
 }
 
 // --- F4: replay speed -----------------------------------------------------------

@@ -1,0 +1,90 @@
+// Reader-based replay: the same strategies as replay.go, but fed by a
+// seekable dplog.Reader instead of a fully decoded recording. Each epoch's
+// section is decoded on demand, which is what the sectioned v6 log format
+// exists for — a segment-parallel replay decodes its own sections
+// concurrently, and a single-epoch replay touches exactly one section.
+
+package replay
+
+import (
+	"context"
+	"fmt"
+
+	"doubleplay/internal/dplog"
+	"doubleplay/internal/epoch"
+	"doubleplay/internal/trace"
+	"doubleplay/internal/vm"
+)
+
+// epochSource abstracts where a replay strategy reads its per-epoch logs
+// from: a decoded *dplog.Recording (free access) or a *dplog.Reader
+// (per-section decode on demand). Epochs are addressed by position in
+// recording order; for a full log, position and epoch id coincide.
+type epochSource interface {
+	numEpochs() int
+	epochAt(i int) (*dplog.EpochLog, error)
+	program() string
+	quantum() int64
+	finalHash() uint64
+}
+
+// recSource adapts a fully decoded recording.
+type recSource struct{ rec *dplog.Recording }
+
+func (s recSource) numEpochs() int                         { return len(s.rec.Epochs) }
+func (s recSource) epochAt(i int) (*dplog.EpochLog, error) { return s.rec.Epochs[i], nil }
+func (s recSource) program() string                        { return s.rec.Program }
+func (s recSource) quantum() int64                         { return s.rec.Quantum }
+func (s recSource) finalHash() uint64                      { return s.rec.FinalHash }
+
+// readerSource adapts a seekable log reader. dplog.Reader is safe for
+// concurrent use, so segment workers can decode their sections in
+// parallel.
+type readerSource struct{ rd *dplog.Reader }
+
+func (s readerSource) numEpochs() int                         { return s.rd.NumSections() }
+func (s readerSource) epochAt(i int) (*dplog.EpochLog, error) { return s.rd.EpochAt(i) }
+func (s readerSource) program() string                        { return s.rd.Header().Program }
+func (s readerSource) quantum() int64                         { return s.rd.Header().Quantum }
+func (s readerSource) finalHash() uint64                      { return s.rd.Header().FinalHash }
+
+// SequentialReader is SequentialCtx reading epochs straight from a
+// seekable log: each section is decoded right before it is replayed, so
+// peak memory holds one epoch's log instead of the whole recording.
+func SequentialReader(ctx context.Context, prog *vm.Program, rd *dplog.Reader, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
+	return sequentialSrc(ctx, prog, readerSource{rd}, costs, sink)
+}
+
+// CheckpointsReader is Checkpoints reading epochs straight from a
+// seekable log, decoding each section as its epoch is reached.
+func CheckpointsReader(ctx context.Context, prog *vm.Program, rd *dplog.Reader, costs *vm.CostModel) ([]*epoch.Boundary, error) {
+	return checkpointsSrc(ctx, prog, readerSource{rd}, costs)
+}
+
+// ParallelSparseReader is ParallelSparseCtx reading epochs straight from
+// a seekable log: every segment decodes only its own sections, and the
+// segments do so concurrently instead of waiting for one sequential
+// decode of the entire file.
+func ParallelSparseReader(ctx context.Context, prog *vm.Program, rd *dplog.Reader, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
+	return parallelSparseSrc(ctx, prog, readerSource{rd}, sparse, cpus, costs, sink)
+}
+
+// OneEpoch replays a single epoch from its start boundary and verifies
+// its recorded end hash. Combined with dplog.Reader.Seek (or the serve
+// API's epoch-range endpoint), this is O(epoch) work for O(epoch) data:
+// nothing before or after the requested epoch is decoded or executed.
+func OneEpoch(prog *vm.Program, b *epoch.Boundary, ep *dplog.EpochLog, quantum int64, costs *vm.CostModel) (*Result, error) {
+	if costs == nil {
+		costs = vm.DefaultCosts()
+	}
+	if b.Hash != ep.StartHash {
+		return nil, fmt.Errorf("replay: epoch %d: checkpoint hash %016x != recorded start %016x",
+			ep.Index, b.Hash, ep.StartHash)
+	}
+	m := b.CP.Restore(prog, nil, costs)
+	c, err := runEpoch(m, ep, costs, quantum, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cycles: c, FinalHash: m.StateHash(), Epochs: 1}, nil
+}

@@ -158,17 +158,27 @@ func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sin
 // ends the replay with the context's error wrapped. A nil context never
 // cancels.
 func SequentialCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
+	return sequentialSrc(ctx, prog, recSource{rec}, costs, sink)
+}
+
+// sequentialSrc is the sequential strategy over any epoch source: a fully
+// decoded recording or a seekable log reader.
+func sequentialSrc(ctx context.Context, prog *vm.Program, src epochSource, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
 	var pid int64
 	if trace.Enabled(sink) {
-		pid = sink.AllocPid("replay " + rec.Program + " (sequential)")
+		pid = sink.AllocPid("replay " + src.program() + " (sequential)")
 		sink.NameThread(pid, 0, "epochs")
 	}
 	m := vm.NewMachine(prog, nil, costs)
 	res := &Result{}
-	for _, ep := range rec.Epochs {
+	for i, n := 0, src.numEpochs(); i < n; i++ {
+		ep, err := src.epochAt(i)
+		if err != nil {
+			return nil, err
+		}
 		if err := ctxErr(ctx, ep.Index); err != nil {
 			return nil, err
 		}
@@ -180,7 +190,7 @@ func SequentialCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, 
 		if trace.Enabled(sink) {
 			buf = trace.NewSink()
 		}
-		c, err := runEpoch(m, ep, costs, rec.Quantum, buf)
+		c, err := runEpoch(m, ep, costs, src.quantum(), buf)
 		if err != nil {
 			return nil, err
 		}
@@ -194,8 +204,8 @@ func SequentialCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, 
 		res.Epochs++
 	}
 	res.FinalHash = m.StateHash()
-	if res.FinalHash != rec.FinalHash {
-		return nil, fmt.Errorf("replay: final hash %016x != recorded %016x", res.FinalHash, rec.FinalHash)
+	if want := src.finalHash(); res.FinalHash != want {
+		return nil, fmt.Errorf("replay: final hash %016x != recorded %016x", res.FinalHash, want)
 	}
 	return res, nil
 }
@@ -321,6 +331,15 @@ func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boun
 // checked before each epoch within every segment. A nil context never
 // cancels.
 func ParallelSparseCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
+	return parallelSparseSrc(ctx, prog, recSource{rec}, sparse, cpus, costs, sink)
+}
+
+// parallelSparseSrc is the sparse segment-parallel strategy over any
+// epoch source. Segments fetch their epochs one at a time, so over a
+// seekable log reader each segment decodes only its own sections — and
+// does so concurrently with the other segments, instead of one up-front
+// sequential decode of the whole file.
+func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -331,29 +350,34 @@ func ParallelSparseCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recordi
 		return nil, fmt.Errorf("replay: sparse boundaries must start at epoch 0")
 	}
 
+	n := src.numEpochs()
 	// Segment k covers epochs [sparse[k].Index, end_k) where end_k is the
 	// next boundary's index (or the end of the recording).
 	type segment struct {
 		start  *epoch.Boundary
-		epochs []*dplog.EpochLog
+		lo, hi int // epoch positions [lo, hi)
 	}
 	var segs []segment
 	for k, b := range sparse {
-		end := len(rec.Epochs)
+		end := n
 		if k+1 < len(sparse) {
 			end = sparse[k+1].Index
 		}
-		if b.Index > end || end > len(rec.Epochs) {
+		if b.Index > end || end > n {
 			return nil, fmt.Errorf("replay: sparse boundary %d covers invalid range [%d,%d)", k, b.Index, end)
 		}
 		if b.Index == end {
 			continue // trailing boundary
 		}
-		if b.Hash != rec.Epochs[b.Index].StartHash {
-			return nil, fmt.Errorf("replay: boundary for epoch %d has hash %016x, recording says %016x",
-				b.Index, b.Hash, rec.Epochs[b.Index].StartHash)
+		first, err := src.epochAt(b.Index)
+		if err != nil {
+			return nil, err
 		}
-		segs = append(segs, segment{start: b, epochs: rec.Epochs[b.Index:end]})
+		if b.Hash != first.StartHash {
+			return nil, fmt.Errorf("replay: boundary for epoch %d has hash %016x, recording says %016x",
+				b.Index, b.Hash, first.StartHash)
+		}
+		segs = append(segs, segment{start: b, lo: b.Index, hi: end})
 	}
 
 	durs := make([]int64, len(segs))
@@ -372,7 +396,12 @@ func ParallelSparseCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recordi
 			defer func() { <-sem }()
 			segbuf := bufs[i]
 			m := sg.start.CP.Restore(prog, nil, costs)
-			for _, ep := range sg.epochs {
+			for pos := sg.lo; pos < sg.hi; pos++ {
+				ep, err := src.epochAt(pos)
+				if err != nil {
+					errs[i] = err
+					return
+				}
 				if errs[i] = ctxErr(ctx, ep.Index); errs[i] != nil {
 					return
 				}
@@ -385,7 +414,7 @@ func ParallelSparseCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recordi
 				if segbuf.Enabled() {
 					epb = trace.NewSink()
 				}
-				c, err := runEpoch(m, ep, costs, rec.Quantum, epb)
+				c, err := runEpoch(m, ep, costs, src.quantum(), epb)
 				if err != nil {
 					errs[i] = err
 					return
@@ -408,18 +437,18 @@ func ParallelSparseCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recordi
 
 	slots, wall := pack(durs, cpus)
 	if trace.Enabled(sink) {
-		pid := sink.AllocPid("replay " + rec.Program + " (sparse segments)")
+		pid := sink.AllocPid("replay " + src.program() + " (sparse segments)")
 		for c := 0; c < cpus; c++ {
 			sink.NameThread(pid, int64(c), fmt.Sprintf("core %d", c))
 		}
 		for i, sg := range segs {
 			s := slots[i]
 			sink.Span("replay.segment", s.start, s.fin-s.start, pid, int64(s.core),
-				map[string]any{"start_epoch": sg.start.Index, "epochs": len(sg.epochs)})
+				map[string]any{"start_epoch": sg.start.Index, "epochs": sg.hi - sg.lo})
 			sink.Splice(bufs[i], s.start, pid, int64(s.core))
 		}
 	}
-	return &Result{Cycles: wall, FinalHash: rec.FinalHash, Epochs: len(rec.Epochs)}, nil
+	return &Result{Cycles: wall, FinalHash: src.finalHash(), Epochs: n}, nil
 }
 
 // Checkpoints reconstructs the epoch-start boundaries of a recording by
@@ -435,13 +464,24 @@ func ParallelSparseCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recordi
 // pass rebuilds the rest. The boundaries' World is nil — parallel replay
 // injects recorded syscall results and never consults a simulated OS.
 func Checkpoints(ctx context.Context, prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel) ([]*epoch.Boundary, error) {
+	return checkpointsSrc(ctx, prog, recSource{rec}, costs)
+}
+
+// checkpointsSrc is the boundary-reconstruction pass over any epoch
+// source.
+func checkpointsSrc(ctx context.Context, prog *vm.Program, src epochSource, costs *vm.CostModel) ([]*epoch.Boundary, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
 	m := vm.NewMachine(prog, nil, costs)
-	out := make([]*epoch.Boundary, 0, len(rec.Epochs)+1)
+	n := src.numEpochs()
+	out := make([]*epoch.Boundary, 0, n+1)
 	var cycles int64
-	for _, ep := range rec.Epochs {
+	for i := 0; i < n; i++ {
+		ep, err := src.epochAt(i)
+		if err != nil {
+			return nil, err
+		}
 		if err := ctxErr(ctx, ep.Index); err != nil {
 			return nil, err
 		}
@@ -456,20 +496,20 @@ func Checkpoints(ctx context.Context, prog *vm.Program, rec *dplog.Recording, co
 			Hash:        ep.StartHash,
 			MappedPages: m.Mem.PageCount(),
 		})
-		c, err := runEpoch(m, ep, costs, rec.Quantum, nil)
+		c, err := runEpoch(m, ep, costs, src.quantum(), nil)
 		if err != nil {
 			return nil, err
 		}
 		cycles += c
 	}
-	if h := m.StateHash(); h != rec.FinalHash {
-		return nil, fmt.Errorf("replay: checkpoints: final hash %016x != recorded %016x", h, rec.FinalHash)
+	if h, want := m.StateHash(), src.finalHash(); h != want {
+		return nil, fmt.Errorf("replay: checkpoints: final hash %016x != recorded %016x", h, want)
 	}
 	out = append(out, &epoch.Boundary{
-		Index:       len(rec.Epochs),
+		Index:       n,
 		Cycle:       cycles,
 		CP:          m.Checkpoint(),
-		Hash:        rec.FinalHash,
+		Hash:        src.finalHash(),
 		MappedPages: m.Mem.PageCount(),
 	})
 	return out, nil

@@ -128,10 +128,11 @@ func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Reco
 	return res, bt, nil
 }
 
-// loadRecording resolves a replay job's source recording and defaults the
-// spec's workload parameters from its header so a minimal
+// loadRecording resolves a replay job's source recording as a seekable
+// log reader (legacy artifacts open through the same API) and defaults
+// the spec's workload parameters from its header so a minimal
 // {"kind":"replay","recording_job":...} body replays faithfully.
-func (s *Server) loadRecording(sp *Spec) (*dplog.Recording, error) {
+func (s *Server) loadRecording(sp *Spec) (*dplog.Reader, error) {
 	src, ok := s.getJob(sp.RecordingJob)
 	if !ok {
 		return nil, fmt.Errorf("recording_job %q is not a known job", sp.RecordingJob)
@@ -144,30 +145,32 @@ func (s *Server) loadRecording(sp *Spec) (*dplog.Recording, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec, err := dplog.Unmarshal(bytes.NewReader(data))
+	rd, err := dplog.OpenReaderBytes(data)
 	if err != nil {
 		return nil, fmt.Errorf("corrupt recording artifact for job %s: %w", sp.RecordingJob, err)
 	}
+	h := rd.Header()
 	if sp.Workload == "" {
-		sp.Workload = rec.Program
+		sp.Workload = h.Program
 	}
-	if rec.Workers > 0 {
-		sp.Workers = rec.Workers
+	if h.Workers > 0 {
+		sp.Workers = h.Workers
 	}
-	if rec.Seed != 0 {
-		sp.Seed = rec.Seed
+	if h.Seed != 0 {
+		sp.Seed = h.Seed
 	}
 	if srcScale > 0 {
 		sp.Scale = srcScale
 	}
-	return rec, nil
+	return rd, nil
 }
 
-// replayJob replays a stored recording in the requested mode. Parallel
-// and sparse modes first rebuild the epoch-start checkpoints from the
-// log (replay.Checkpoints) — the artifact carries only the logs.
+// replayJob replays a stored recording in the requested mode, seeking
+// epoch sections straight out of the artifact. Parallel and sparse modes
+// first rebuild the epoch-start checkpoints from the log
+// (replay.CheckpointsReader) — the artifact carries only the logs.
 func (s *Server) replayJob(ctx context.Context, id string, sp *Spec, sink trace.Recorder, sum *ResultSummary) error {
-	rec, err := s.loadRecording(sp)
+	rd, err := s.loadRecording(sp)
 	if err != nil {
 		return err
 	}
@@ -178,16 +181,22 @@ func (s *Server) replayJob(ctx context.Context, id string, sp *Spec, sink trace.
 	var rep *replay.Result
 	switch sp.Mode {
 	case ModeSequential:
-		rep, err = replay.SequentialCtx(ctx, bt.Prog, rec, nil, sink)
+		rep, err = replay.SequentialReader(ctx, bt.Prog, rd, nil, sink)
 	case ModeParallel, ModeSparse:
 		var bs []*epoch.Boundary
-		bs, err = replay.Checkpoints(ctx, bt.Prog, rec, nil)
+		bs, err = replay.CheckpointsReader(ctx, bt.Prog, rd, nil)
 		if err != nil {
 			break
 		}
 		if sp.Mode == ModeSparse {
-			rep, err = replay.ParallelSparseCtx(ctx, bt.Prog, rec, replay.Thin(bs, sp.Stride), sp.Workers, nil, sink)
+			rep, err = replay.ParallelSparseReader(ctx, bt.Prog, rd, replay.Thin(bs, sp.Stride), sp.Workers, nil, sink)
 		} else {
+			// Full epoch-parallel replay touches every epoch at once
+			// anyway, so decode the whole log for it.
+			var rec *dplog.Recording
+			if rec, err = rd.Recording(); err != nil {
+				break
+			}
 			rep, err = replay.ParallelCtx(ctx, bt.Prog, rec, bs, sp.Workers, nil, sink)
 		}
 	default:

@@ -386,6 +386,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	GET    /jobs/{id}/trace     streamed Chrome trace (409 until terminal)
 //	GET    /jobs/{id}/stats     stats artifact
 //	GET    /jobs/{id}/recording stored recording (dplog binary)
+//	GET    /recordings/{id}/epochs/{range}
+//	                            standalone dplog holding epochs n or n..m
+//	                            (400 bad range, 404 no job/recording,
+//	                            416 epochs outside the log)
 //	GET    /metrics             Prometheus text format
 //	GET    /healthz             liveness + drain state
 func (s *Server) Handler() http.Handler {
@@ -397,6 +401,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/stats", s.handleStats)
 	mux.HandleFunc("GET /jobs/{id}/recording", s.handleRecording)
+	mux.HandleFunc("GET /recordings/{id}/epochs/{range}", s.handleEpochRange)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux

@@ -1,0 +1,29 @@
+#!/bin/sh
+# scripts/check_links.sh — verify every relative markdown link resolves.
+#
+# Scans all committed *.md files for inline links/images `[text](target)`
+# and fails if a repo-relative target does not exist. Skipped targets:
+# absolute URLs (http/https/mailto), pure #anchors, and ../../* paths,
+# which are GitHub-web-relative (the CI badge) rather than files in the
+# repo. Fragments are stripped before the existence check, so
+# `DESIGN.md#section` validates the file only.
+set -e
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in $(git ls-files -c -o --exclude-standard '*.md'); do
+	dir=$(dirname "$f")
+	for target in $(grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//'); do
+		case "$target" in
+		http://* | https://* | mailto:* | '#'* | ../../*) continue ;;
+		esac
+		path="${target%%#*}"
+		[ -n "$path" ] || continue
+		if [ ! -e "$dir/$path" ]; then
+			echo "$f: broken link -> $target" >&2
+			fail=1
+		fi
+	done
+done
+[ "$fail" -eq 0 ] || exit 1
+echo "check_links.sh: all relative markdown links resolve"

@@ -101,6 +101,29 @@ go run ./cmd/doubleplay record -w racey -workers 2 -seed 11 \
 grep -q "full verification kept" "$obs/racy.out" || {
     echo "certify: racey skipped verification — soundness bug" >&2; exit 1; }
 
+echo "== log-format gate (sectioned v6: inspect, extract, upgrade, doc links)"
+# A freshly recorded artifact must inspect as a seekable v6 log with an
+# intact index and no damaged section bodies.
+go run ./cmd/doubleplay log inspect -log "$obs/full.dplog" >"$obs/li.out"
+grep -q "dplog v6" "$obs/li.out" || {
+    echo "log inspect: recording is not a v6 log" >&2; exit 1; }
+grep -Eq "sections: +[1-9]" "$obs/li.out" || {
+    echo "log inspect: no sections reported" >&2; exit 1; }
+if grep -q "ERROR" "$obs/li.out"; then
+    echo "log inspect: damaged section bodies" >&2; cat "$obs/li.out" >&2; exit 1
+fi
+# Extracting an epoch range must yield a standalone 2-section log.
+go run ./cmd/doubleplay log extract -log "$obs/full.dplog" -epochs 1..2 -o "$obs/sub.dplog" >/dev/null
+go run ./cmd/doubleplay log inspect -log "$obs/sub.dplog" | grep -Eq "sections: +2" || {
+    echo "log extract: subset does not hold exactly 2 sections" >&2; exit 1; }
+# A legacy v5 fixture must upgrade in place to v6.
+cp internal/dplog/testdata/v5.dplog "$obs/legacy.dplog"
+go run ./cmd/doubleplay log upgrade -log "$obs/legacy.dplog" >/dev/null
+go run ./cmd/doubleplay log inspect -log "$obs/legacy.dplog" | grep -q "dplog v6" || {
+    echo "log upgrade: legacy log did not migrate to v6" >&2; exit 1; }
+# Every relative link in the documentation must resolve.
+./scripts/check_links.sh >/dev/null
+
 echo "== serve gate (job daemon: record + replay-by-id over HTTP)"
 go build -o "$obs/doubleplay" ./cmd/doubleplay
 go build -o "$obs/dptrace" ./cmd/dptrace
