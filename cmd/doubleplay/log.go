@@ -66,6 +66,7 @@ func logInspect(path string) {
 		return
 	}
 	fmt.Printf("\n  %5s %9s %8s %8s %6s  %-5s %s\n", "epoch", "offset", "stored", "raw", "ratio", "flags", "body")
+	var totStored, totRaw int64
 	for i, s := range rd.Sections() {
 		flags := ""
 		if s.Compressed() {
@@ -83,7 +84,11 @@ func logInspect(path string) {
 		}
 		fmt.Printf("  %5d %9d %8d %8d %6.2f  %-5s %s\n",
 			s.Epoch, s.Offset, s.Stored, s.Raw, float64(s.Stored)/float64(max(s.Raw, 1)), flags, body)
+		totStored += int64(s.Stored)
+		totRaw += int64(s.Raw)
 	}
+	fmt.Printf("  %5s %9s %8d %8d %6.2f\n",
+		"total", "", totStored, totRaw, float64(totStored)/float64(max(totRaw, 1)))
 }
 
 // logUpgrade migrates a legacy log (or repairs a damaged v6 one) to the

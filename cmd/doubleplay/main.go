@@ -7,8 +7,11 @@
 //	doubleplay record  -w pbzip -workers 4 -spares 4 -o pbzip.dplog
 //	doubleplay record  -w pbzip -trace t.json -listen :9090  # streamed trace + live /metrics
 //	doubleplay record  -w pbzip -adaptive -min-spares 1 -max-spares 4  # feedback-controlled spares
+//	doubleplay record  -w pbzip -guest-profile p.pb  # deterministic guest cycle profile
 //	doubleplay replay  -w pbzip -workers 4 -log pbzip.dplog [-parallel]
 //	doubleplay verify  -w pbzip -workers 4          # record + both replays in memory
+//	doubleplay verify  -w pbzip -guest-profile p.pb # + replay-vs-record profile identity
+//	doubleplay serve   -listen :8421 -pprof         # job daemon + /debug/pprof
 //	doubleplay inspect -log pbzip.dplog
 //	doubleplay log inspect -log pbzip.dplog         # section table + index health
 //	doubleplay log upgrade -log old.dplog           # migrate v4/v5 logs to v6 in place
@@ -23,6 +26,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -36,6 +40,7 @@ import (
 	"doubleplay/internal/asm"
 	"doubleplay/internal/core"
 	"doubleplay/internal/dplog"
+	"doubleplay/internal/profile"
 	"doubleplay/internal/race"
 	"doubleplay/internal/replay"
 	"doubleplay/internal/sched"
@@ -86,8 +91,12 @@ func main() {
 		metrics     = fs.Bool("metrics", false, "print the metrics registry after the run (record/verify)")
 		promOut     = fs.String("prom", "", "write the metrics registry in Prometheus text format to this file (record/verify)")
 		listen      = fs.String("listen", "", "serve /metrics and /healthz on this address while the run executes (serve: the API address)")
+		guestProf   = fs.String("guest-profile", "", "write the deterministic guest cycle profile (pprof format) to this file (record/replay/verify; render with 'dptrace flame')")
+		cpuProf     = fs.String("cpuprofile", "", "write a host CPU profile of this process to this file")
+		memProf     = fs.String("memprofile", "", "write a host heap profile of this process to this file on exit")
 
 		// serve-only flags.
+		pprofFlag    = fs.Bool("pprof", false, "serve: expose net/http/pprof under /debug/pprof on the API address")
 		dataDir      = fs.String("data", "dpdata", "serve: artifact store directory (blobs + per-job artifacts)")
 		pool         = fs.Int("pool", 2, "serve: worker pool size (concurrent jobs)")
 		queueDepth   = fs.Int("queue", 16, "serve: queued-job limit before submissions get 429")
@@ -106,6 +115,12 @@ func main() {
 	if err != nil {
 		usageErr(err.Error())
 	}
+	// Host profiling brackets the whole command; the deferred Stop flushes
+	// both files, and a failed flush exits through the uniform runtime
+	// exit code (1).
+	hostProf, err := profile.StartHostProfiles(*cpuProf, *memProf)
+	check(err)
+	defer func() { check(hostProf.Stop()) }()
 	// The trace streams to disk as the run executes, holding only a bounded
 	// reorder window in memory; Close finishes the JSON document.
 	var sink trace.Recorder
@@ -143,6 +158,19 @@ func main() {
 		fmt.Printf("trace: %d events streamed -> %s (max %d buffered%s; open with https://ui.perfetto.dev)\n",
 			stream.Written(), *traceOut, stream.MaxBuffered(), extra)
 	}
+	// Written at the end of record/replay/verify when -guest-profile was
+	// given; nil prof (flag unset) is a no-op.
+	writeGuestProfile := func(prof *profile.Profile) {
+		if prof == nil {
+			return
+		}
+		f, err := os.Create(*guestProf)
+		check(err)
+		check(prof.WritePprof(f))
+		check(f.Close())
+		fmt.Printf("guest profile: %d stacks, %d cycles -> %s (render with 'dptrace flame')\n",
+			prof.NumSamples(), prof.TotalCycles(), *guestProf)
+	}
 	flushMetrics := func() {
 		if *promOut != "" {
 			f, err := os.Create(*promOut)
@@ -170,7 +198,11 @@ func main() {
 
 	case "record":
 		bt := mustBuild(*wlName, *workers, *scale, *seed)
-		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, *adaptive, *minSpares, *maxSpares, policy, sink, reg)
+		var gprof *profile.Profile
+		if *guestProf != "" {
+			gprof = profile.NewProfile("")
+		}
+		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, *adaptive, *minSpares, *maxSpares, policy, sink, reg, gprof)
 		printStats(*wlName, res)
 		printRaces(res)
 		if *outPath != "" {
@@ -181,6 +213,7 @@ func main() {
 			fmt.Printf("wrote %s (%d bytes on disk, %d bytes replay payload)\n",
 				*outPath, res.Stats.FileBytes, res.Stats.ReplayBytes)
 		}
+		writeGuestProfile(gprof)
 		flushTrace()
 		flushMetrics()
 
@@ -194,37 +227,77 @@ func main() {
 		rec, err := dplog.Unmarshal(f)
 		check(err)
 		check(f.Close())
-		rep, err := replay.Sequential(bt.Prog, rec, nil, sink)
+		var gprof *profile.Profile
+		if *guestProf != "" {
+			gprof = profile.NewProfile("")
+		}
+		rep, err := replay.SequentialProfiled(nil, bt.Prog, rec, nil, sink, gprof)
 		check(err)
 		fmt.Printf("replayed %d epochs in %d simulated cycles; final hash %016x verified\n",
 			rep.Epochs, rep.Cycles, rep.FinalHash)
+		writeGuestProfile(gprof)
 		flushTrace()
 
 	case "verify":
 		bt := mustBuild(*wlName, *workers, *scale, *seed)
-		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, *adaptive, *minSpares, *maxSpares, policy, sink, reg)
+		var recProf *profile.Profile
+		if *guestProf != "" {
+			recProf = profile.NewProfile("")
+		}
+		res := mustRecord(bt, *workers, *spares, *epochLen, *seed, *growth, *detect, *adaptive, *minSpares, *maxSpares, policy, sink, reg, recProf)
 		printStats(*wlName, res)
 		printRaces(res)
-		seq, err := replay.Sequential(bt.Prog, res.Recording, nil, sink)
+		// Each replay strategy regenerates the guest profile independently;
+		// all of them must byte-match what the recorder gathered.
+		var recProfBytes []byte
+		if recProf != nil {
+			recProfBytes = recProf.MarshalPprof()
+		}
+		checkProf := func(strategy string, p *profile.Profile) {
+			if p == nil {
+				return
+			}
+			if !bytes.Equal(recProfBytes, p.MarshalPprof()) {
+				fatal(fmt.Sprintf("guest profile: %s replay profile differs from record profile", strategy))
+			}
+		}
+		newProf := func() *profile.Profile {
+			if recProf == nil {
+				return nil
+			}
+			return profile.NewProfile("")
+		}
+		seqProf := newProf()
+		seq, err := replay.SequentialProfiled(nil, bt.Prog, res.Recording, nil, sink, seqProf)
 		check(err)
+		checkProf("sequential", seqProf)
 		fmt.Printf("sequential replay: OK (%d cycles)\n", seq.Cycles)
 		if *parallel {
-			par, err := replay.Parallel(bt.Prog, res.Recording, res.Boundaries, *workers, nil, sink)
+			parProf := newProf()
+			par, err := replay.ParallelProfiled(nil, bt.Prog, res.Recording, res.Boundaries, *workers, nil, sink, parProf)
 			check(err)
+			checkProf("parallel", parProf)
 			fmt.Printf("parallel replay:   OK (%d cycles on %d cores)\n", par.Cycles, *workers)
 		}
 		if *stride > 1 {
 			sparse := res.ThinBoundaries(*stride)
-			sp, err := replay.ParallelSparse(bt.Prog, res.Recording, sparse, *workers, nil, sink)
+			spProf := newProf()
+			sp, err := replay.ParallelSparseProfiled(nil, bt.Prog, res.Recording, sparse, *workers, nil, sink, spProf)
 			check(err)
+			checkProf("sparse", spProf)
 			fmt.Printf("sparse replay:     OK (stride %d, %d of %d checkpoints kept, %d cycles)\n",
 				*stride, len(sparse), len(res.Recording.Epochs)+1, sp.Cycles)
+		}
+		if recProf != nil {
+			fmt.Printf("guest profile:     OK (replay regenerates the record profile bit-identically, %d stacks)\n",
+				recProf.NumSamples())
 		}
 		last := res.Boundaries[len(res.Boundaries)-1]
 		if err := bt.CheckOK(last.CP.MemSnap.Peek); err != nil {
 			fatal(err.Error())
 		}
 		fmt.Println("guest self-check:  OK")
+		writeGuestProfile(recProf)
 		flushTrace()
 		flushMetrics()
 
@@ -284,7 +357,7 @@ func main() {
 		}
 
 	case "serve":
-		serve(*listen, *dataDir, *pool, *queueDepth, *jobTimeout, *drainTimeout, *addrFile)
+		serve(*listen, *dataDir, *pool, *queueDepth, *jobTimeout, *drainTimeout, *addrFile, *pprofFlag)
 
 	default:
 		usageErr(fmt.Sprintf("unknown command %q", cmd))
@@ -294,7 +367,7 @@ func main() {
 // serve runs the record/replay job daemon until SIGINT/SIGTERM, then
 // drains: in-flight jobs finish (or are canceled after drainTimeout),
 // artifacts are flushed, and the process exits 0.
-func serve(listen, dataDir string, pool, queueDepth int, jobTimeout, drainTimeout time.Duration, addrFile string) {
+func serve(listen, dataDir string, pool, queueDepth int, jobTimeout, drainTimeout time.Duration, addrFile string, enablePprof bool) {
 	if listen == "" {
 		listen = "127.0.0.1:8421"
 	}
@@ -304,6 +377,7 @@ func serve(listen, dataDir string, pool, queueDepth int, jobTimeout, drainTimeou
 		QueueDepth:   queueDepth,
 		JobTimeout:   jobTimeout,
 		DrainTimeout: drainTimeout,
+		EnablePprof:  enablePprof,
 	})
 	check(err)
 	srv.Start()
@@ -350,7 +424,7 @@ func mustBuild(name string, workers, scale int, seed int64) *workloads.Built {
 	return wl.Build(workloads.Params{Workers: workers, Scale: scale, Seed: seed})
 }
 
-func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, growth float64, detect bool, adaptive bool, minSpares, maxSpares int, policy core.VerifyPolicy, sink trace.Recorder, reg *trace.Registry) *core.Result {
+func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, growth float64, detect bool, adaptive bool, minSpares, maxSpares int, policy core.VerifyPolicy, sink trace.Recorder, reg *trace.Registry, gprof *profile.Profile) *core.Result {
 	res, err := core.Record(bt.Prog, bt.World, core.Options{
 		Workers:           workers,
 		RecordCPUs:        workers,
@@ -365,6 +439,7 @@ func mustRecord(bt *workloads.Built, workers, spares int, epochLen, seed int64, 
 		VerifyPolicy:      policy,
 		Trace:             sink,
 		Metrics:           reg,
+		Profile:           gprof,
 	})
 	check(err)
 	return res

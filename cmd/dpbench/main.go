@@ -12,6 +12,7 @@
 //	dpbench -exp overhead2 -metrics          # aggregate counters after the tables
 //	dpbench -exp all -listen :9090           # live /metrics + /healthz while running
 //	dpbench -exp all -prom metrics.prom      # dump Prometheus text format at exit
+//	dpbench -exp overhead2 -guest-profile p.pb -cpuprofile cpu.pb  # guest + host profiles
 //	dpbench -list                   # show available experiments
 package main
 
@@ -22,6 +23,7 @@ import (
 
 	"doubleplay/internal/core"
 	"doubleplay/internal/exp"
+	"doubleplay/internal/profile"
 	"doubleplay/internal/trace"
 )
 
@@ -43,8 +45,25 @@ func main() {
 		metricsOn   = flag.Bool("metrics", false, "print the aggregate metrics registry after the experiments")
 		promOut     = flag.String("prom", "", "write the metrics registry in Prometheus text format to this file")
 		listen      = flag.String("listen", "", "serve /metrics and /healthz on this address while experiments run")
+		guestProf   = flag.String("guest-profile", "", "write the merged deterministic guest profile of every recording (pprof format) to this file")
+		cpuProf     = flag.String("cpuprofile", "", "write a host CPU profile of this process to this file")
+		memProf     = flag.String("memprofile", "", "write a host heap profile of this process to this file on exit")
 	)
 	flag.Parse()
+
+	// Host profiling brackets every experiment; the deferred Stop flushes
+	// both files and a failed flush exits 1 like any other I/O error.
+	hostProf, err := profile.StartHostProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := hostProf.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: writing host profile: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	type runner struct {
 		name, desc string
@@ -124,6 +143,9 @@ func main() {
 	if *metricsOn || *promOut != "" || *listen != "" {
 		cfg.Metrics = trace.NewRegistry()
 	}
+	if *guestProf != "" {
+		cfg.Profile = profile.NewProfile("")
+	}
 	if *listen != "" {
 		srv, err := trace.ServeMetrics(*listen, cfg.Metrics)
 		if err != nil {
@@ -155,6 +177,22 @@ func main() {
 		}
 		fmt.Printf("\ntrace: %d events streamed -> %s (max %d buffered%s; open with https://ui.perfetto.dev)\n",
 			stream.Written(), *traceOut, stream.MaxBuffered(), extra)
+	}
+	if *guestProf != "" {
+		f, err := os.Create(*guestProf)
+		if err == nil {
+			if err = cfg.Profile.WritePprof(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: writing guest profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("guest profile: %d stacks, %d cycles -> %s (render with 'dptrace flame')\n",
+			cfg.Profile.NumSamples(), cfg.Profile.TotalCycles(), *guestProf)
 	}
 	if *promOut != "" {
 		f, err := os.Create(*promOut)

@@ -8,6 +8,8 @@
 //	dptrace diff a.json b.json         # align two runs by epoch, report deltas
 //	dptrace lag trace.json             # pipeline fill/drain + commit-lag slope
 //	dptrace promlint metrics.prom      # check Prometheus text format
+//	dptrace flame profile.pb           # top-function table of a guest profile
+//	dptrace flame -folded profile.pb   # folded stacks for flamegraph renderers
 //
 // diff exits 0 when the timelines agree, 3 when they diverge (the first
 // divergent epoch and per-epoch cycle deltas are printed either way).
@@ -15,13 +17,19 @@
 // worked example: per pipeline track it reports verify occupancy and the
 // least-squares slope of commit lag over epoch index, plus the drain tail
 // after the last thread-parallel boundary.
+// flame reads the pprof-format guest profiles written by -guest-profile
+// (doubleplay record/replay/verify, dpbench) and renders either a
+// top-function table (-top N rows, default 20) or folded stacks in the
+// flamegraph.pl input format.
 package main
 
 import (
 	"fmt"
 	"os"
+	"strconv"
 
 	"doubleplay/internal/dptrace"
+	"doubleplay/internal/profile"
 	"doubleplay/internal/trace"
 )
 
@@ -31,6 +39,7 @@ func usage() {
   dptrace diff <a.json> <b.json>
   dptrace lag <trace.json>
   dptrace promlint <metrics.prom>
+  dptrace flame [-folded] [-top N] <profile.pb>
 `)
 	os.Exit(2)
 }
@@ -84,6 +93,8 @@ func main() {
 			}
 			rep.Render(os.Stdout)
 		}
+	case "flame":
+		flame(os.Args[2:])
 	case "promlint":
 		if len(os.Args) != 3 {
 			usage()
@@ -104,5 +115,58 @@ func main() {
 		fmt.Println("ok")
 	default:
 		usage()
+	}
+}
+
+// flame renders a guest pprof profile: the default is a top-function
+// table, -folded switches to flamegraph.pl's folded-stack input format.
+func flame(args []string) {
+	folded := false
+	top := 20
+	var path string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-folded":
+			folded = true
+		case "-top":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n <= 0 {
+				usage()
+			}
+			top = n
+		default:
+			if path != "" {
+				usage()
+			}
+			path = args[i]
+		}
+	}
+	if path == "" {
+		usage()
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dptrace: %v\n", err)
+		os.Exit(1)
+	}
+	prof, err := profile.ParsePprof(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dptrace: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if folded {
+		if err := prof.WriteFolded(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dptrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := prof.RenderTop(os.Stdout, top); err != nil {
+		fmt.Fprintf(os.Stderr, "dptrace: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"doubleplay/internal/core"
 	"doubleplay/internal/dplog"
 	"doubleplay/internal/epoch"
+	"doubleplay/internal/profile"
 	"doubleplay/internal/race"
 	"doubleplay/internal/replay"
 	"doubleplay/internal/sched"
@@ -122,6 +123,37 @@ type StreamSink = trace.StreamSink
 // NewStreamSink returns a streaming trace sink over w. A window of 0
 // selects trace.DefaultStreamWindow.
 func NewStreamSink(w io.Writer, window int) *StreamSink { return trace.NewStreamSink(w, window) }
+
+// GuestProfile is the deterministic guest cycle profile: retired cycles
+// attributed to guest call stacks, gathered while recording
+// (RecordOptions.Profile) or while replaying ([ReplaySequentialProfiled],
+// [ReplayParallelProfiled]). For the same recording the two are
+// byte-identical — production profiles can be regenerated offline,
+// exactly, from the log. Export with WritePprof (pprof profile.proto) or
+// WriteFolded (flamegraph input); render with `dptrace flame`. See
+// docs/OBSERVABILITY.md.
+type GuestProfile = profile.Profile
+
+// NewGuestProfile returns an empty guest profile to accumulate into.
+func NewGuestProfile() *GuestProfile { return profile.NewProfile("") }
+
+// ParseGuestProfile decodes a pprof-encoded guest profile (the bytes
+// WritePprof produced, or any spec-conforming profile.proto message).
+func ParseGuestProfile(data []byte) (*GuestProfile, error) { return profile.ParsePprof(data) }
+
+// ReplaySequentialProfiled is ReplaySequential gathering the guest profile
+// of the replayed execution into prof (nil disables profiling).
+func ReplaySequentialProfiled(prog *Program, rec *Recording, prof *GuestProfile) (*ReplayResult, error) {
+	return replay.SequentialProfiled(nil, prog, rec, nil, nil, prof)
+}
+
+// ReplayParallelProfiled is ReplayParallel gathering the guest profile of
+// the replayed execution into prof (nil disables profiling). The profile
+// is byte-identical to the sequential strategy's regardless of how the
+// epochs interleave across workers.
+func ReplayParallelProfiled(prog *Program, rec *Recording, boundaries []*Boundary, cpus int, prof *GuestProfile) (*ReplayResult, error) {
+	return replay.ParallelProfiled(nil, prog, rec, boundaries, cpus, nil, nil, prof)
+}
 
 // MetricsRegistry aggregates counters, gauges, and latency histograms
 // across recordings; set RecordOptions.Metrics and print with Render.

@@ -28,6 +28,7 @@ import (
 	"doubleplay/internal/analyze"
 	"doubleplay/internal/dplog"
 	"doubleplay/internal/epoch"
+	"doubleplay/internal/profile"
 	"doubleplay/internal/race"
 	"doubleplay/internal/sched"
 	"doubleplay/internal/simos"
@@ -130,6 +131,14 @@ type Options struct {
 	// about the recording, labelled by workload (and epoch for per-epoch
 	// series).
 	Metrics *trace.Registry
+
+	// Profile, when non-nil, accumulates a deterministic guest profile of
+	// the logged execution: retired cycles attributed to guest call stacks,
+	// derived purely from the retired-instruction streams the log captures.
+	// Replaying the recording with any replay strategy regenerates the
+	// exact same profile (see internal/profile). Like Trace, profiling is
+	// observational only: no simulated quantity changes.
+	Profile *profile.Profile
 }
 
 func (o Options) withDefaults() Options {
@@ -547,6 +556,15 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 		return sig, ok
 	}
 	m.Hooks.PendingSignal = sigHook
+	// Certified recordings log the thread-parallel execution itself, so the
+	// guest profile is gathered there; otherwise it comes from the
+	// epoch-parallel runs below — the execution the log actually describes
+	// and replay reproduces.
+	var liveProf *profile.Profiler
+	if opt.Profile != nil && certified {
+		liveProf = profile.New(prog)
+		liveProf.Attach(m)
+	}
 	par := sched.NewParallel(m, opt.RecordCPUs, opt.Seed)
 	par.Trace = tr
 	par.TracePid = pidGuest
@@ -584,8 +602,10 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 		}
 		// Thread-parallel execution of one epoch.
 		next := boundaries[len(boundaries)-1].Cycle + epochLen
-		if err := par.RunUntil(next); err != nil {
-			return nil, fmt.Errorf("core: thread-parallel run failed: %w", err)
+		var runErr error
+		profile.WithPhase(opt.Context, "record", func() { runErr = par.RunUntil(next) })
+		if runErr != nil {
+			return nil, fmt.Errorf("core: thread-parallel run failed: %w", runErr)
 		}
 
 		// Charge the record-time costs this epoch accrued: log appends,
@@ -697,7 +717,14 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			spec.OnSync = det.OnSync
 			spec.OnMemAccess = det.OnMemAccess
 		}
-		res, err := epoch.Run(spec)
+		var epProf *profile.Profiler
+		if opt.Profile != nil {
+			epProf = profile.New(prog)
+			spec.Profile = epProf
+		}
+		var res *epoch.RunResult
+		var err error
+		profile.WithPhase(opt.Context, "verify", func() { res, err = epoch.Run(spec) })
 		compareCost := costs.ComparePage * mapped
 		dur := res.Cycles + compareCost
 		stats.EpochSerialCycles += dur
@@ -715,6 +742,9 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			ep.EndHash = b.Hash
 			ep.Schedule = res.Schedule
 			rec.Epochs = append(rec.Epochs, ep)
+			if epProf != nil {
+				opt.Profile.Merge(epProf.Snapshot())
+			}
 			pm = pl.schedule(start.Cycle, b.Cycle, dur)
 			commitCyc = pm.finish
 			traceVerify(tr, pidRec, pm, epbuf, i, dur, true)
@@ -747,6 +777,12 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 			ep.EndHash = res.EndHash
 			ep.Schedule = res.Schedule
 			rec.Epochs = append(rec.Epochs, ep)
+			if epProf != nil {
+				// The epoch-parallel run is the one the log describes, so
+				// its profile stands even though it diverged from the
+				// thread-parallel states.
+				opt.Profile.Merge(epProf.Snapshot())
+			}
 			pm = pl.schedule(start.Cycle, b.Cycle, dur)
 			detect := pm.finish
 			commitCyc = detect
@@ -873,6 +909,9 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 		}
 	}
 
+	if liveProf != nil {
+		opt.Profile.Merge(liveProf.Snapshot())
+	}
 	last := boundaries[len(boundaries)-1]
 	rec.FinalHash = last.Hash
 	rec.OutputHash = last.World.OutputHash()
@@ -886,9 +925,11 @@ func Record(prog *vm.Program, world *simos.World, opt Options) (*Result, error) 
 	stats.GuestFaults = m.FaultCount()
 	stats.ThreadParallelCycles = par.WallTime()
 	stats.CompletionCycles = pl.completion(par.WallTime())
-	stats.ReplayBytes = rec.ReplaySize()
-	stats.FullBytes = rec.FullSize()
-	stats.FileBytes = len(dplog.MarshalBytes(rec))
+	profile.WithPhase(opt.Context, "commit", func() {
+		stats.ReplayBytes = rec.ReplaySize()
+		stats.FullBytes = rec.FullSize()
+		stats.FileBytes = len(dplog.MarshalBytes(rec))
+	})
 	stats.ActiveSpares = opt.SpareCPUs
 	if ctl != nil {
 		stats.ActiveSpares = ctl.Active()
@@ -992,6 +1033,14 @@ func rerunEpoch(prog *vm.Program, start *epoch.Boundary, quota uint64,
 	rr := &rerunResult{}
 	ros := &recordOS{inner: simos.NewOS(w), cur: &rr.sys, tr: buf}
 	m := start.CP.Restore(prog, ros, costs)
+	// The re-execution replaces the squashed epoch in the log, so it is the
+	// run the guest profile must describe (the squashed epoch-parallel
+	// attempt's profile is discarded by the caller).
+	var prof *profile.Profiler
+	if opt.Profile != nil {
+		prof = profile.New(prog)
+		prof.Attach(m)
+	}
 	m.Hooks.PendingSignal = func(t *vm.Thread) (vm.Word, bool) {
 		sig, ok := w.NextSignal(t.ID, m.Now)
 		if ok {
@@ -1015,6 +1064,9 @@ func rerunEpoch(prog *vm.Program, start *epoch.Boundary, quota uint64,
 	}
 	rr.sched = uni.Log
 	rr.cycles = uni.Cycles
+	if prof != nil {
+		opt.Profile.Merge(prof.Snapshot())
+	}
 	b := epoch.Capture(start.Index+1, 0, m, w)
 	return b, rr, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"doubleplay/internal/dplog"
+	"doubleplay/internal/profile"
 	"doubleplay/internal/sched"
 	"doubleplay/internal/simos"
 	"doubleplay/internal/trace"
@@ -79,6 +80,10 @@ type RunSpec struct {
 	// CPU). Callers splice the buffer to the epoch's pipeline-assigned
 	// position; see trace.Sink.Splice.
 	Trace trace.Recorder
+
+	// Profile, when set, is attached to the epoch's machine and observes
+	// every retired instruction; callers snapshot it after the run.
+	Profile *profile.Profiler
 }
 
 // RunResult is the outcome of an epoch-parallel execution.
@@ -114,6 +119,9 @@ func Run(spec RunSpec) (*RunResult, error) {
 		}
 	}
 	m.Hooks.OnMemAccess = spec.OnMemAccess
+	if spec.Profile != nil {
+		spec.Profile.Attach(m)
+	}
 
 	uni := sched.NewUni(m)
 	uni.Quantum = spec.Quantum

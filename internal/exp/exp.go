@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"doubleplay/internal/core"
+	"doubleplay/internal/profile"
 	"doubleplay/internal/simos"
 	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
@@ -49,6 +50,11 @@ type Config struct {
 	// Metrics, when non-nil, aggregates per-run counters and distributions
 	// across every recording an experiment performs (dpbench -metrics).
 	Metrics *trace.Registry
+
+	// Profile, when non-nil, accumulates the deterministic guest profile
+	// of every recording an experiment performs (dpbench -guest-profile).
+	// Profiling is observational: experiment numbers are unchanged.
+	Profile *profile.Profile
 }
 
 // evalSet returns the benchmark list this configuration selects.
@@ -114,6 +120,7 @@ func record(name string, workers, spares int, cfg Config) (*core.Result, *worklo
 		VerifyPolicy:      cfg.VerifyPolicy,
 		Trace:             cfg.Trace,
 		Metrics:           cfg.Metrics,
+		Profile:           cfg.Profile,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("exp: record %s: %v", name, err))

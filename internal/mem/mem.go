@@ -101,6 +101,13 @@ type Stats struct {
 type Memory struct {
 	pages map[Word]*page
 	stats Stats
+
+	// lastIdx/lastPage cache the most recently touched page: guest access
+	// streams are heavily page-local, so most Load/Store calls skip the map
+	// lookup. The cache always equals m.pages[lastIdx] — writablePage
+	// refreshes it whenever a copy-on-write clone replaces the mapping.
+	lastIdx  Word
+	lastPage *page
 }
 
 // New returns an empty memory in which every address reads zero.
@@ -111,10 +118,15 @@ func New() *Memory {
 // Load returns the word at addr.
 func (m *Memory) Load(addr Word) Word {
 	m.stats.Loads++
-	p, ok := m.pages[addr>>PageShift]
+	idx := addr >> PageShift
+	if p := m.lastPage; p != nil && m.lastIdx == idx {
+		return p.data[addr&pageMask]
+	}
+	p, ok := m.pages[idx]
 	if !ok {
 		return 0
 	}
+	m.lastIdx, m.lastPage = idx, p
 	return p.data[addr&pageMask]
 }
 
@@ -131,20 +143,24 @@ func (m *Memory) Peek(addr Word) Word {
 // writablePage returns the page containing addr, materialising or privatising
 // it as needed so the caller may write to it.
 func (m *Memory) writablePage(idx Word) *page {
-	p, ok := m.pages[idx]
-	if !ok {
-		p = newPage()
-		m.pages[idx] = p
-		m.stats.PagesNew++
-		return p
+	p := m.lastPage
+	if p == nil || m.lastIdx != idx {
+		var ok bool
+		p, ok = m.pages[idx]
+		if !ok {
+			p = newPage()
+			m.pages[idx] = p
+			m.stats.PagesNew++
+		}
 	}
 	if p.refs.Load() > 1 {
 		c := p.clone()
 		p.refs.Add(-1)
 		m.pages[idx] = c
 		m.stats.PagesCopied++
-		return c
+		p = c
 	}
+	m.lastIdx, m.lastPage = idx, p
 	return p
 }
 
@@ -154,8 +170,10 @@ func (m *Memory) writablePage(idx Word) *page {
 func (m *Memory) Store(addr Word, val Word) {
 	m.stats.Stores++
 	idx := addr >> PageShift
-	if _, ok := m.pages[idx]; !ok && val == 0 {
-		return
+	if m.lastPage == nil || m.lastIdx != idx {
+		if _, ok := m.pages[idx]; !ok && val == 0 {
+			return
+		}
 	}
 	p := m.writablePage(idx)
 	off := addr & pageMask

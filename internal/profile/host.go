@@ -1,0 +1,85 @@
+package profile
+
+// Host-side profiling plumbing: runtime/pprof phase labels for the
+// recorder/replayer control loops, and the -cpuprofile/-memprofile flag
+// lifecycle shared by the CLIs. Guest profiles (Profiler/Profile in this
+// package) measure the simulated program in simulated cycles; these helpers
+// measure the simulator itself in host CPU time.
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// WithPhase runs f with the pprof label dp.phase=phase attached to the
+// goroutine, so host CPU profiles of the simulator split by pipeline phase
+// (record, verify, commit, replay). Free when no host profile is active.
+func WithPhase(ctx context.Context, phase string, f func()) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels("dp.phase", phase), func(context.Context) { f() })
+}
+
+// HostProfiles owns the files behind the CLI -cpuprofile/-memprofile flags.
+type HostProfiles struct {
+	cpu     *os.File
+	memPath string
+}
+
+// StartHostProfiles starts a CPU profile into cpuPath (when non-empty) and
+// arranges for Stop to write a heap profile to memPath (when non-empty).
+// Either path may be empty; Stop on the returned value is always safe.
+func StartHostProfiles(cpuPath, memPath string) (*HostProfiles, error) {
+	h := &HostProfiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		h.cpu = f
+	}
+	return h, nil
+}
+
+// Stop flushes the CPU profile and writes the heap profile, returning the
+// first error so callers can normalise it into their exit-code convention.
+// Safe on nil and safe to call more than once.
+func (h *HostProfiles) Stop() error {
+	if h == nil {
+		return nil
+	}
+	var first error
+	if h.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := h.cpu.Close(); err != nil {
+			first = err
+		}
+		h.cpu = nil
+	}
+	if h.memPath != "" {
+		path := h.memPath
+		h.memPath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return first
+		}
+		runtime.GC() // materialise up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+			first = err
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

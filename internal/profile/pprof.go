@@ -1,0 +1,467 @@
+package profile
+
+// Hand-rolled pprof profile.proto encoding and decoding. The repo takes no
+// module dependencies, so the wire format is produced and consumed directly:
+// profile.proto uses only varint scalars, packed repeated varints, and
+// length-delimited submessages, all trivial to emit by hand.
+//
+// The encoder is canonical: given equal Profiles (same samples, same name)
+// it produces identical bytes. Strings are interned in a fixed order (the
+// sample-type vocabulary, then sorted function names, then the program name
+// as the filename), functions and locations are numbered by sorted-name
+// position, samples are emitted in canonical key order with leaf-first
+// location ids (the pprof convention), and no wall-clock metadata is
+// stamped. Record/replay bit-identity tests compare these bytes directly.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// profile.proto field numbers.
+const (
+	profSampleType  = 1
+	profSample      = 2
+	profLocation    = 4
+	profFunction    = 5
+	profStringTable = 6
+
+	vtType = 1
+	vtUnit = 2
+
+	sampleLocationID = 1
+	sampleValue      = 2
+
+	locID   = 1
+	locLine = 4
+
+	lineFunctionID = 1
+
+	funcID       = 1
+	funcName     = 2
+	funcSysName  = 3
+	funcFilename = 4
+)
+
+type protoBuf struct{ b []byte }
+
+func (w *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		w.b = append(w.b, byte(v)|0x80)
+		v >>= 7
+	}
+	w.b = append(w.b, byte(v))
+}
+
+func (w *protoBuf) tag(field, wire int) { w.varint(uint64(field)<<3 | uint64(wire)) }
+
+// intField emits a varint field, omitting proto3 zero defaults.
+func (w *protoBuf) intField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	w.tag(field, 0)
+	w.varint(v)
+}
+
+func (w *protoBuf) bytesField(field int, data []byte) {
+	w.tag(field, 2)
+	w.varint(uint64(len(data)))
+	w.b = append(w.b, data...)
+}
+
+func (w *protoBuf) packed(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var body protoBuf
+	for _, v := range vs {
+		body.varint(v)
+	}
+	w.bytesField(field, body.b)
+}
+
+// MarshalPprof encodes the profile as a canonical pprof profile.proto
+// message with two sample values per stack: [cycles, instructions].
+func (p *Profile) MarshalPprof() []byte {
+	strtab := []string{""}
+	strIdx := map[string]uint64{"": 0}
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(strtab))
+		strtab = append(strtab, s)
+		strIdx[s] = i
+		return i
+	}
+	cyclesIdx := intern("cycles")
+	countIdx := intern("count")
+	instrsIdx := intern("instructions")
+
+	samples := p.Samples()
+	fnID := make(map[string]uint64)
+	var fnNames []string
+	for _, s := range samples {
+		for _, fn := range s.Stack {
+			if _, ok := fnID[fn]; !ok {
+				fnID[fn] = 0
+				fnNames = append(fnNames, fn)
+			}
+		}
+	}
+	sort.Strings(fnNames)
+	for i, fn := range fnNames {
+		fnID[fn] = uint64(i + 1)
+		intern(fn)
+	}
+	fileIdx := intern(p.Name)
+
+	var out protoBuf
+	for _, vt := range [][2]uint64{{cyclesIdx, countIdx}, {instrsIdx, countIdx}} {
+		var m protoBuf
+		m.intField(vtType, vt[0])
+		m.intField(vtUnit, vt[1])
+		out.bytesField(profSampleType, m.b)
+	}
+	for _, s := range samples {
+		var m protoBuf
+		locs := make([]uint64, len(s.Stack))
+		for i, fn := range s.Stack {
+			locs[len(s.Stack)-1-i] = fnID[fn] // leaf first
+		}
+		m.packed(sampleLocationID, locs)
+		m.packed(sampleValue, []uint64{uint64(s.Cycles), uint64(s.Instrs)})
+		out.bytesField(profSample, m.b)
+	}
+	for i := range fnNames {
+		var m protoBuf
+		m.intField(locID, uint64(i+1))
+		var ln protoBuf
+		ln.intField(lineFunctionID, uint64(i+1))
+		m.bytesField(locLine, ln.b)
+		out.bytesField(profLocation, m.b)
+	}
+	for i, fn := range fnNames {
+		var m protoBuf
+		m.intField(funcID, uint64(i+1))
+		m.intField(funcName, strIdx[fn])
+		m.intField(funcSysName, strIdx[fn])
+		m.intField(funcFilename, fileIdx)
+		out.bytesField(profFunction, m.b)
+	}
+	for _, s := range strtab {
+		out.bytesField(profStringTable, []byte(s))
+	}
+	return out.b
+}
+
+// WritePprof writes MarshalPprof's bytes to w.
+func (p *Profile) WritePprof(w io.Writer) error {
+	_, err := w.Write(p.MarshalPprof())
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+type protoReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *protoReader) done() bool { return r.pos >= len(r.b) }
+
+func (r *protoReader) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); ; shift += 7 {
+		if r.pos >= len(r.b) {
+			return 0, fmt.Errorf("pprof: truncated varint")
+		}
+		if shift >= 64 {
+			return 0, fmt.Errorf("pprof: varint overflow")
+		}
+		c := r.b[r.pos]
+		r.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+}
+
+func (r *protoReader) field() (num, wire int, err error) {
+	k, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(k >> 3), int(k & 7), nil
+}
+
+func (r *protoReader) bytes() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		return nil, fmt.Errorf("pprof: truncated bytes field")
+	}
+	out := r.b[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return out, nil
+}
+
+func (r *protoReader) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := r.varint()
+		return err
+	case 1:
+		if len(r.b)-r.pos < 8 {
+			return fmt.Errorf("pprof: truncated fixed64")
+		}
+		r.pos += 8
+		return nil
+	case 2:
+		_, err := r.bytes()
+		return err
+	case 5:
+		if len(r.b)-r.pos < 4 {
+			return fmt.Errorf("pprof: truncated fixed32")
+		}
+		r.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("pprof: unsupported wire type %d", wire)
+	}
+}
+
+// varints reads one repeated-varint field occurrence: packed (wire 2) or a
+// single unpacked element (wire 0).
+func (r *protoReader) varints(wire int, into []uint64) ([]uint64, error) {
+	if wire == 0 {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(into, v), nil
+	}
+	body, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	sub := protoReader{b: body}
+	for !sub.done() {
+		v, err := sub.varint()
+		if err != nil {
+			return nil, err
+		}
+		into = append(into, v)
+	}
+	return into, nil
+}
+
+// ParsePprof decodes a pprof profile.proto message back into a Profile.
+// It understands any encoder's output (packed or unpacked repeats, fields in
+// any order), not just MarshalPprof's: sample values are matched to the
+// "cycles" and "instructions" sample types by name, stacks are symbolised
+// through location -> line -> function -> string table, and the program name
+// is recovered from the functions' filename.
+func ParsePprof(data []byte) (*Profile, error) {
+	type rawSample struct {
+		locs []uint64
+		vals []uint64
+	}
+	var (
+		sampleTypes [][2]uint64 // (type, unit) string indices
+		rawSamples  []rawSample
+		locFn       = make(map[uint64]uint64) // location id -> function id
+		fnNameIdx   = make(map[uint64]uint64) // function id -> name string index
+		fnFileIdx   uint64
+		strtab      []string
+	)
+	r := protoReader{b: data}
+	for !r.done() {
+		num, wire, err := r.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case profSampleType:
+			body, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			var vt [2]uint64
+			sub := protoReader{b: body}
+			for !sub.done() {
+				n, w, err := sub.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case vtType, vtUnit:
+					v, err := sub.varint()
+					if err != nil {
+						return nil, err
+					}
+					vt[n-1] = v
+				default:
+					if err := sub.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case profSample:
+			body, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			var s rawSample
+			sub := protoReader{b: body}
+			for !sub.done() {
+				n, w, err := sub.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case sampleLocationID:
+					if s.locs, err = sub.varints(w, s.locs); err != nil {
+						return nil, err
+					}
+				case sampleValue:
+					if s.vals, err = sub.varints(w, s.vals); err != nil {
+						return nil, err
+					}
+				default:
+					if err := sub.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			rawSamples = append(rawSamples, s)
+		case profLocation:
+			body, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			var id, fn uint64
+			sub := protoReader{b: body}
+			for !sub.done() {
+				n, w, err := sub.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case locID:
+					if id, err = sub.varint(); err != nil {
+						return nil, err
+					}
+				case locLine:
+					line, err := sub.bytes()
+					if err != nil {
+						return nil, err
+					}
+					ls := protoReader{b: line}
+					for !ls.done() {
+						ln, lw, err := ls.field()
+						if err != nil {
+							return nil, err
+						}
+						if ln == lineFunctionID && fn == 0 {
+							if fn, err = ls.varint(); err != nil {
+								return nil, err
+							}
+						} else if err := ls.skip(lw); err != nil {
+							return nil, err
+						}
+					}
+				default:
+					if err := sub.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			locFn[id] = fn
+		case profFunction:
+			body, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			var id, name uint64
+			sub := protoReader{b: body}
+			for !sub.done() {
+				n, w, err := sub.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case funcID:
+					if id, err = sub.varint(); err != nil {
+						return nil, err
+					}
+				case funcName:
+					if name, err = sub.varint(); err != nil {
+						return nil, err
+					}
+				case funcFilename:
+					if fnFileIdx, err = sub.varint(); err != nil {
+						return nil, err
+					}
+				default:
+					if err := sub.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			fnNameIdx[id] = name
+		case profStringTable:
+			s, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(s))
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+	cyclesAt, instrsAt := -1, -1
+	for i, vt := range sampleTypes {
+		switch str(vt[0]) {
+		case "cycles":
+			cyclesAt = i
+		case "instructions":
+			instrsAt = i
+		}
+	}
+	if cyclesAt < 0 && len(sampleTypes) > 0 {
+		cyclesAt = 0
+	}
+	prof := NewProfile(str(fnFileIdx))
+	for _, s := range rawSamples {
+		stack := make([]string, len(s.locs))
+		for i, loc := range s.locs { // leaf first on the wire
+			stack[len(s.locs)-1-i] = str(fnNameIdx[locFn[loc]])
+		}
+		var cycles, instrs int64
+		if cyclesAt >= 0 && cyclesAt < len(s.vals) {
+			cycles = int64(s.vals[cyclesAt])
+		}
+		if instrsAt >= 0 && instrsAt < len(s.vals) {
+			instrs = int64(s.vals[instrsAt])
+		}
+		prof.add(stack, cycles, instrs)
+	}
+	return prof, nil
+}

@@ -12,6 +12,7 @@ import (
 
 	"doubleplay/internal/dplog"
 	"doubleplay/internal/epoch"
+	"doubleplay/internal/profile"
 	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
 )
@@ -52,7 +53,13 @@ func (s readerSource) finalHash() uint64                      { return s.rd.Head
 // seekable log: each section is decoded right before it is replayed, so
 // peak memory holds one epoch's log instead of the whole recording.
 func SequentialReader(ctx context.Context, prog *vm.Program, rd *dplog.Reader, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
-	return sequentialSrc(ctx, prog, readerSource{rd}, costs, sink)
+	return sequentialSrc(ctx, prog, readerSource{rd}, costs, sink, nil)
+}
+
+// SequentialReaderProfiled is SequentialReader with a guest profile (see
+// SequentialProfiled). A nil prof disables profiling.
+func SequentialReaderProfiled(ctx context.Context, prog *vm.Program, rd *dplog.Reader, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
+	return sequentialSrc(ctx, prog, readerSource{rd}, costs, sink, prof)
 }
 
 // CheckpointsReader is Checkpoints reading epochs straight from a
@@ -66,7 +73,13 @@ func CheckpointsReader(ctx context.Context, prog *vm.Program, rd *dplog.Reader, 
 // segments do so concurrently instead of waiting for one sequential
 // decode of the entire file.
 func ParallelSparseReader(ctx context.Context, prog *vm.Program, rd *dplog.Reader, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
-	return parallelSparseSrc(ctx, prog, readerSource{rd}, sparse, cpus, costs, sink)
+	return parallelSparseSrc(ctx, prog, readerSource{rd}, sparse, cpus, costs, sink, nil)
+}
+
+// ParallelSparseReaderProfiled is ParallelSparseReader with a guest
+// profile (see ParallelSparseProfiled). A nil prof disables profiling.
+func ParallelSparseReaderProfiled(ctx context.Context, prog *vm.Program, rd *dplog.Reader, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
+	return parallelSparseSrc(ctx, prog, readerSource{rd}, sparse, cpus, costs, sink, prof)
 }
 
 // OneEpoch replays a single epoch from its start boundary and verifies

@@ -22,6 +22,7 @@ import (
 
 	"doubleplay/internal/dplog"
 	"doubleplay/internal/epoch"
+	"doubleplay/internal/profile"
 	"doubleplay/internal/sched"
 	"doubleplay/internal/trace"
 	"doubleplay/internal/vm"
@@ -132,6 +133,14 @@ func runCertifiedEpoch(m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel, q
 	return epochCost(uni.Cycles, inj.Injected, costs) + int64(gate.Used())*costs.EnforceSyncEvent, nil
 }
 
+// runEpochPhase is runEpoch under the dp.phase=replay pprof label, so host
+// CPU profiles of a replaying process attribute the work to the replay
+// phase (the label is free when no host profile is active).
+func runEpochPhase(ctx context.Context, m *vm.Machine, ep *dplog.EpochLog, costs *vm.CostModel, quantum int64, buf *trace.Sink) (c int64, err error) {
+	profile.WithPhase(ctx, "replay", func() { c, err = runEpoch(m, ep, costs, quantum, buf) })
+	return c, err
+}
+
 // ctxErr reports a context's error once it is done; a nil context never
 // cancels. Replay checks it at epoch boundaries, mirroring the recorder's
 // cancellation points (core.Options.Context).
@@ -158,12 +167,20 @@ func Sequential(prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sin
 // ends the replay with the context's error wrapped. A nil context never
 // cancels.
 func SequentialCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
-	return sequentialSrc(ctx, prog, recSource{rec}, costs, sink)
+	return sequentialSrc(ctx, prog, recSource{rec}, costs, sink, nil)
+}
+
+// SequentialProfiled is SequentialCtx with a guest profile: every retired
+// instruction of the replayed execution is attributed into prof, which ends
+// up bit-identical to the profile the recorder gathered for the same log
+// (see internal/profile). A nil prof disables profiling.
+func SequentialProfiled(ctx context.Context, prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
+	return sequentialSrc(ctx, prog, recSource{rec}, costs, sink, prof)
 }
 
 // sequentialSrc is the sequential strategy over any epoch source: a fully
 // decoded recording or a seekable log reader.
-func sequentialSrc(ctx context.Context, prog *vm.Program, src epochSource, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
+func sequentialSrc(ctx context.Context, prog *vm.Program, src epochSource, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -173,6 +190,11 @@ func sequentialSrc(ctx context.Context, prog *vm.Program, src epochSource, costs
 		sink.NameThread(pid, 0, "epochs")
 	}
 	m := vm.NewMachine(prog, nil, costs)
+	var gp *profile.Profiler
+	if prof != nil {
+		gp = profile.New(prog)
+		gp.Attach(m)
+	}
 	res := &Result{}
 	for i, n := 0, src.numEpochs(); i < n; i++ {
 		ep, err := src.epochAt(i)
@@ -190,7 +212,7 @@ func sequentialSrc(ctx context.Context, prog *vm.Program, src epochSource, costs
 		if trace.Enabled(sink) {
 			buf = trace.NewSink()
 		}
-		c, err := runEpoch(m, ep, costs, src.quantum(), buf)
+		c, err := runEpochPhase(ctx, m, ep, costs, src.quantum(), buf)
 		if err != nil {
 			return nil, err
 		}
@@ -206,6 +228,9 @@ func sequentialSrc(ctx context.Context, prog *vm.Program, src epochSource, costs
 	res.FinalHash = m.StateHash()
 	if want := src.finalHash(); res.FinalHash != want {
 		return nil, fmt.Errorf("replay: final hash %016x != recorded %016x", res.FinalHash, want)
+	}
+	if gp != nil {
+		prof.Merge(gp.Snapshot())
 	}
 	return res, nil
 }
@@ -225,6 +250,20 @@ func Parallel(prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Bounda
 // canceled context stops the fan-out promptly. A nil context never
 // cancels.
 func ParallelCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
+	return parallelCtx(ctx, prog, rec, boundaries, cpus, costs, sink, nil)
+}
+
+// ParallelProfiled is ParallelCtx with a guest profile: each epoch worker
+// profiles its own machine and the per-epoch profiles are merged into prof
+// after the fan-out completes. Merging is commutative over canonical stack
+// keys, so the result is byte-identical to the sequential strategy's
+// profile no matter how the epochs interleave. A nil prof disables
+// profiling.
+func ParallelProfiled(ctx context.Context, prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
+	return parallelCtx(ctx, prog, rec, boundaries, cpus, costs, sink, prof)
+}
+
+func parallelCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, boundaries []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -238,6 +277,7 @@ func ParallelCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, bo
 	durs := make([]int64, len(rec.Epochs))
 	errs := make([]error, len(rec.Epochs))
 	bufs := make([]*trace.Sink, len(rec.Epochs))
+	profs := make([]*profile.Profile, len(rec.Epochs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cpus)
 	for i, ep := range rec.Epochs {
@@ -257,13 +297,26 @@ func ParallelCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, bo
 				return
 			}
 			m := boundaries[i].CP.Restore(prog, nil, costs)
-			durs[i], errs[i] = runEpoch(m, ep, costs, rec.Quantum, bufs[i])
+			var gp *profile.Profiler
+			if prof != nil {
+				gp = profile.New(prog)
+				gp.Attach(m)
+			}
+			durs[i], errs[i] = runEpochPhase(ctx, m, ep, costs, rec.Quantum, bufs[i])
+			if gp != nil && errs[i] == nil {
+				profs[i] = gp.Snapshot()
+			}
 		}(i, ep)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+	if prof != nil {
+		for _, p := range profs {
+			prof.Merge(p)
 		}
 	}
 
@@ -331,7 +384,15 @@ func ParallelSparse(prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boun
 // checked before each epoch within every segment. A nil context never
 // cancels.
 func ParallelSparseCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
-	return parallelSparseSrc(ctx, prog, recSource{rec}, sparse, cpus, costs, sink)
+	return parallelSparseSrc(ctx, prog, recSource{rec}, sparse, cpus, costs, sink, nil)
+}
+
+// ParallelSparseProfiled is ParallelSparseCtx with a guest profile: each
+// segment worker profiles its own machine and the per-segment profiles are
+// merged into prof after the fan-out completes. A nil prof disables
+// profiling.
+func ParallelSparseProfiled(ctx context.Context, prog *vm.Program, rec *dplog.Recording, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
+	return parallelSparseSrc(ctx, prog, recSource{rec}, sparse, cpus, costs, sink, prof)
 }
 
 // parallelSparseSrc is the sparse segment-parallel strategy over any
@@ -339,7 +400,7 @@ func ParallelSparseCtx(ctx context.Context, prog *vm.Program, rec *dplog.Recordi
 // seekable log reader each segment decodes only its own sections — and
 // does so concurrently with the other segments, instead of one up-front
 // sequential decode of the whole file.
-func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder) (*Result, error) {
+func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -383,6 +444,7 @@ func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, s
 	durs := make([]int64, len(segs))
 	errs := make([]error, len(segs))
 	bufs := make([]*trace.Sink, len(segs))
+	profs := make([]*profile.Profile, len(segs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cpus)
 	for i, sg := range segs {
@@ -396,6 +458,11 @@ func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, s
 			defer func() { <-sem }()
 			segbuf := bufs[i]
 			m := sg.start.CP.Restore(prog, nil, costs)
+			var gp *profile.Profiler
+			if prof != nil {
+				gp = profile.New(prog)
+				gp.Attach(m)
+			}
 			for pos := sg.lo; pos < sg.hi; pos++ {
 				ep, err := src.epochAt(pos)
 				if err != nil {
@@ -414,7 +481,7 @@ func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, s
 				if segbuf.Enabled() {
 					epb = trace.NewSink()
 				}
-				c, err := runEpoch(m, ep, costs, src.quantum(), epb)
+				c, err := runEpochPhase(ctx, m, ep, costs, src.quantum(), epb)
 				if err != nil {
 					errs[i] = err
 					return
@@ -426,12 +493,20 @@ func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, s
 				}
 				durs[i] += c
 			}
+			if gp != nil {
+				profs[i] = gp.Snapshot()
+			}
 		}(i, sg)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+	if prof != nil {
+		for _, p := range profs {
+			prof.Merge(p)
 		}
 	}
 

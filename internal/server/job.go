@@ -123,6 +123,14 @@ type Spec struct {
 	TraceWindow        int   `json:"trace_window,omitempty"`
 	TraceMinSpan       int64 `json:"trace_min_span,omitempty"`
 	TraceCounterStride int   `json:"trace_counter_stride,omitempty"`
+
+	// GuestProfile asks the job to gather the deterministic guest cycle
+	// profile (see internal/profile) and store it as the profile.pb
+	// artifact, fetchable at GET /jobs/{id}/profile. Record and verify
+	// jobs profile the recording; replay jobs profile the replayed
+	// execution — for the same log the two artifacts are byte-identical,
+	// and verify jobs check that property before turning done.
+	GuestProfile bool `json:"guest_profile,omitempty"`
 }
 
 // Normalize fills defaults in place.
@@ -215,6 +223,10 @@ type ResultSummary struct {
 	// decision for jobs submitted with verify_policy "certified".
 	CertStatus    string `json:"cert_status,omitempty"`
 	VerifySkipped int    `json:"verify_skipped,omitempty"`
+
+	// GuestStacks counts the distinct call stacks in the guest profile of
+	// a job submitted with guest_profile.
+	GuestStacks int `json:"guest_stacks,omitempty"`
 }
 
 // Job is one unit of work and its full lifecycle record. The server's
@@ -276,6 +288,9 @@ func (j *Job) info() Info {
 	in.Links = map[string]string{"self": base, "trace": base + "/trace", "stats": base + "/stats"}
 	if j.Spec.Kind != KindReplay {
 		in.Links["recording"] = base + "/recording"
+	}
+	if j.Spec.GuestProfile {
+		in.Links["profile"] = base + "/profile"
 	}
 	return in
 }

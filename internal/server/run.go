@@ -10,6 +10,7 @@ import (
 	"doubleplay/internal/core"
 	"doubleplay/internal/dplog"
 	"doubleplay/internal/epoch"
+	"doubleplay/internal/profile"
 	"doubleplay/internal/replay"
 	"doubleplay/internal/trace"
 	"doubleplay/internal/workloads"
@@ -79,16 +80,34 @@ func (s *Server) writeStats(id string, v any) error {
 	return s.store.WriteJobArtifact(id, "stats.json", buf.Bytes())
 }
 
+// writeProfile stores a job's guest profile as the profile.pb artifact and
+// records its stack count in the summary.
+func (s *Server) writeProfile(id string, prof *profile.Profile, sum *ResultSummary) error {
+	if prof == nil {
+		return nil
+	}
+	if sum != nil {
+		sum.GuestStacks = prof.NumSamples()
+	}
+	return s.store.WriteJobArtifact(id, "profile.pb", prof.MarshalPprof())
+}
+
 // record runs the recording half shared by record and verify jobs,
-// stores the recording blob, and fills the summary.
-func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Recorder, sum *ResultSummary) (*core.Result, *workloads.Built, error) {
+// stores the recording blob, and fills the summary. When the spec asks for
+// a guest profile, the recording's profile is returned for the caller to
+// store (verify jobs first compare it against the replay's).
+func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Recorder, sum *ResultSummary) (*core.Result, *workloads.Built, *profile.Profile, error) {
 	bt, err := buildWorkload(sp)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	policy, err := core.ParseVerifyPolicy(sp.VerifyPolicy)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	var gprof *profile.Profile
+	if sp.GuestProfile {
+		gprof = profile.NewProfile("")
 	}
 	res, err := core.Record(bt.Prog, bt.World, core.Options{
 		Workers:           sp.Workers,
@@ -105,16 +124,17 @@ func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Reco
 		Trace:             sink,
 		Metrics:           s.reg,
 		Context:           ctx,
+		Profile:           gprof,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	digest, err := s.store.PutBlob(dplog.MarshalBytes(res.Recording))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := s.store.SetRecordingRef(id, digest); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sum.Recording = digest
 	sum.Epochs = res.Stats.Epochs
@@ -125,7 +145,7 @@ func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Reco
 	sum.Races = len(res.Races)
 	sum.CertStatus = res.Stats.CertStatus
 	sum.VerifySkipped = res.Stats.VerifySkipped
-	return res, bt, nil
+	return res, bt, gprof, nil
 }
 
 // loadRecording resolves a replay job's source recording as a seekable
@@ -178,10 +198,14 @@ func (s *Server) replayJob(ctx context.Context, id string, sp *Spec, sink trace.
 	if err != nil {
 		return err
 	}
+	var gprof *profile.Profile
+	if sp.GuestProfile {
+		gprof = profile.NewProfile("")
+	}
 	var rep *replay.Result
 	switch sp.Mode {
 	case ModeSequential:
-		rep, err = replay.SequentialReader(ctx, bt.Prog, rd, nil, sink)
+		rep, err = replay.SequentialReaderProfiled(ctx, bt.Prog, rd, nil, sink, gprof)
 	case ModeParallel, ModeSparse:
 		var bs []*epoch.Boundary
 		bs, err = replay.CheckpointsReader(ctx, bt.Prog, rd, nil)
@@ -189,7 +213,7 @@ func (s *Server) replayJob(ctx context.Context, id string, sp *Spec, sink trace.
 			break
 		}
 		if sp.Mode == ModeSparse {
-			rep, err = replay.ParallelSparseReader(ctx, bt.Prog, rd, replay.Thin(bs, sp.Stride), sp.Workers, nil, sink)
+			rep, err = replay.ParallelSparseReaderProfiled(ctx, bt.Prog, rd, replay.Thin(bs, sp.Stride), sp.Workers, nil, sink, gprof)
 		} else {
 			// Full epoch-parallel replay touches every epoch at once
 			// anyway, so decode the whole log for it.
@@ -197,12 +221,15 @@ func (s *Server) replayJob(ctx context.Context, id string, sp *Spec, sink trace.
 			if rec, err = rd.Recording(); err != nil {
 				break
 			}
-			rep, err = replay.ParallelCtx(ctx, bt.Prog, rec, bs, sp.Workers, nil, sink)
+			rep, err = replay.ParallelProfiled(ctx, bt.Prog, rec, bs, sp.Workers, nil, sink, gprof)
 		}
 	default:
 		return fmt.Errorf("unknown replay mode %q", sp.Mode)
 	}
 	if err != nil {
+		return err
+	}
+	if err := s.writeProfile(id, gprof, sum); err != nil {
 		return err
 	}
 	sum.Epochs = rep.Epochs
@@ -214,13 +241,20 @@ func (s *Server) replayJob(ctx context.Context, id string, sp *Spec, sink trace.
 // verifyJob is the in-memory round trip: record, replay sequentially
 // (and in parallel when mode asks), and run the guest self-check.
 func (s *Server) verifyJob(ctx context.Context, id string, sp Spec, sink trace.Recorder, sum *ResultSummary) error {
-	res, bt, err := s.record(ctx, id, sp, sink, sum)
+	res, bt, gprof, err := s.record(ctx, id, sp, sink, sum)
 	if err != nil {
 		return err
 	}
 	defer res.ReleaseCheckpoints()
-	if _, err := replay.SequentialCtx(ctx, bt.Prog, res.Recording, nil, sink); err != nil {
+	var repProf *profile.Profile
+	if gprof != nil {
+		repProf = profile.NewProfile("")
+	}
+	if _, err := replay.SequentialProfiled(ctx, bt.Prog, res.Recording, nil, sink, repProf); err != nil {
 		return fmt.Errorf("sequential replay: %w", err)
+	}
+	if gprof != nil && !bytes.Equal(gprof.MarshalPprof(), repProf.MarshalPprof()) {
+		return fmt.Errorf("guest profile: replay profile differs from record profile")
 	}
 	if sp.Mode == ModeParallel {
 		if _, err := replay.ParallelCtx(ctx, bt.Prog, res.Recording, res.Boundaries, sp.Workers, nil, sink); err != nil {
@@ -230,6 +264,9 @@ func (s *Server) verifyJob(ctx context.Context, id string, sp Spec, sink trace.R
 	last := res.Boundaries[len(res.Boundaries)-1]
 	if err := bt.CheckOK(last.CP.MemSnap.Peek); err != nil {
 		return fmt.Errorf("guest self-check: %w", err)
+	}
+	if err := s.writeProfile(id, gprof, sum); err != nil {
+		return err
 	}
 	return s.writeStats(id, res.Stats)
 }
@@ -246,9 +283,12 @@ func (s *Server) runJob(ctx context.Context, id string, sp Spec, sum *ResultSumm
 	}
 	switch sp.Kind {
 	case KindRecord:
-		res, _, rerr := s.record(ctx, id, sp, jt.sink, sum)
+		res, _, gprof, rerr := s.record(ctx, id, sp, jt.sink, sum)
 		if rerr == nil {
 			res.ReleaseCheckpoints()
+			rerr = s.writeProfile(id, gprof, sum)
+		}
+		if rerr == nil {
 			rerr = s.writeStats(id, res.Stats)
 		}
 		err = rerr

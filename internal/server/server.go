@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"sync"
 	"time"
 
@@ -41,6 +42,12 @@ type Config struct {
 	// Registry receives queue, pool, and per-run metrics; nil allocates a
 	// private one.
 	Registry *trace.Registry
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof on the API
+	// handler (doubleplay serve -pprof). Off by default: the profiling
+	// endpoints expose host internals and cost CPU when scraped, so they
+	// are strictly opt-in.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -386,12 +393,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	GET    /jobs/{id}/trace     streamed Chrome trace (409 until terminal)
 //	GET    /jobs/{id}/stats     stats artifact
 //	GET    /jobs/{id}/recording stored recording (dplog binary)
+//	GET    /jobs/{id}/profile   guest pprof profile (jobs submitted with
+//	                            guest_profile; 409 until terminal)
 //	GET    /recordings/{id}/epochs/{range}
 //	                            standalone dplog holding epochs n or n..m
 //	                            (400 bad range, 404 no job/recording,
 //	                            416 epochs outside the log)
 //	GET    /metrics             Prometheus text format
 //	GET    /healthz             liveness + drain state
+//
+// With Config.EnablePprof, net/http/pprof is additionally mounted under
+// /debug/pprof for host-side profiling of the daemon itself.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -401,9 +413,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/stats", s.handleStats)
 	mux.HandleFunc("GET /jobs/{id}/recording", s.handleRecording)
+	mux.HandleFunc("GET /jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("GET /recordings/{id}/epochs/{range}", s.handleEpochRange)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+	}
 	return mux
 }
 
@@ -501,6 +521,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	http.ServeFile(w, r, s.store.JobArtifact(j.ID, "stats.json"))
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if st := s.jobState(j); !st.Terminal() {
+		writeErr(w, http.StatusConflict, "job %s is %s; the profile is written when the job finishes", j.ID, st)
+		return
+	}
+	if !j.Spec.GuestProfile {
+		writeErr(w, http.StatusNotFound, "job %s was not submitted with guest_profile", j.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, r, s.store.JobArtifact(j.ID, "profile.pb"))
 }
 
 func (s *Server) handleRecording(w http.ResponseWriter, r *http.Request) {

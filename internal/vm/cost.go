@@ -52,6 +52,16 @@ func DefaultCosts() *CostModel {
 	}
 }
 
+// table flattens instrCost into a dense per-opcode array so the
+// interpreter loop indexes instead of re-running the switch per retire.
+func (c *CostModel) table() [256]int64 {
+	var tab [256]int64
+	for op := 0; op < len(tab); op++ {
+		tab[op] = c.instrCost(Opcode(op))
+	}
+	return tab
+}
+
 // instrCost returns the execution cost of one instruction.
 func (c *CostModel) instrCost(op Opcode) int64 {
 	switch op {

@@ -122,6 +122,14 @@ type Hooks struct {
 	// thread's retired-instruction count — which is how the log pinpoints
 	// asynchronous delivery for replay.
 	PendingSignal func(t *Thread) (Word, bool)
+	// OnRetire observes every retired instruction: pc is the program
+	// counter the instruction retired at (for a delivered signal, the pc it
+	// interrupted) and cost is the instruction's static per-opcode charge
+	// (Sync for signal delivery). The static charge — rather than the
+	// dynamic StepResult cost — keeps the stream a pure function of the
+	// retired-instruction sequence, identical between live and injected
+	// execution; profilers depend on that.
+	OnRetire func(t *Thread, pc int, cost int64)
 }
 
 // StepResult reports the outcome of executing one instruction attempt.
@@ -159,6 +167,10 @@ type Machine struct {
 	nextTID    int
 	liveCount  int
 	faultCount int
+
+	// costTab is Cost.instrCost flattened per opcode; built once per
+	// machine so the step hot path indexes instead of switching.
+	costTab [256]int64
 }
 
 // BarrierState is one barrier's architectural state.
@@ -186,6 +198,7 @@ func NewMachine(prog *Program, os SyscallHandler, cost *CostModel) *Machine {
 		Cost:     cost,
 		Barriers: make(map[Word]*BarrierState),
 	}
+	m.costTab = cost.table()
 	m.Mem.StoreRange(prog.DataBase, prog.Data)
 	m.Mem.ResetStats()
 	main := &Thread{ID: 0, PC: prog.Funcs[prog.Entry].Entry, SigHandler: -1}
@@ -293,6 +306,24 @@ func (m *Machine) memStore(t *Thread, addr, val Word) {
 // re-attempt and either proceed or remain blocked; the scheduler charges
 // cost only for retired instructions.
 func (m *Machine) Step(t *Thread) StepResult {
+	if m.Hooks.OnRetire == nil {
+		return m.step(t)
+	}
+	pc0, sig0 := t.PC, t.SigRetired
+	res := m.step(t)
+	if res.Retired {
+		// pc0 indexes valid code: an out-of-range pc faults without
+		// retiring, so Retired implies the fetch at pc0 succeeded.
+		cost := m.costTab[m.Prog.Code[pc0].Op]
+		if t.SigRetired != sig0 {
+			cost = m.Cost.Sync // signal delivery, not the instruction at pc0
+		}
+		m.Hooks.OnRetire(t, pc0, cost)
+	}
+	return res
+}
+
+func (m *Machine) step(t *Thread) StepResult {
 	if !t.Status.Live() {
 		panic(fmt.Sprintf("vm: Step on dead thread %d (%s)", t.ID, t.Status))
 	}
@@ -306,7 +337,7 @@ func (m *Machine) Step(t *Thread) StepResult {
 		}
 	}
 	in := m.Prog.Code[t.PC]
-	cost := m.Cost.instrCost(in.Op)
+	cost := m.costTab[in.Op]
 	r := &t.Regs
 
 	retire := func() StepResult {
@@ -783,6 +814,7 @@ func (cp *Checkpoint) Restore(prog *Program, os SyscallHandler, cost *CostModel)
 		Cost:     cost,
 		nextTID:  cp.NextTID,
 	}
+	m.costTab = cost.table()
 	for i, t := range cp.Threads {
 		c := t.clone()
 		m.Threads[i] = c

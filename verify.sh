@@ -101,6 +101,36 @@ go run ./cmd/doubleplay record -w racey -workers 2 -seed 11 \
 grep -q "full verification kept" "$obs/racy.out" || {
     echo "certify: racey skipped verification — soundness bug" >&2; exit 1; }
 
+echo "== profiling gate (record/replay guest profiles bit-identical, flame renders)"
+# Recording with -guest-profile and replaying the log with -guest-profile
+# must produce byte-identical pprof artifacts — the profiler's whole
+# contract is that the profile is a pure function of the recorded
+# instruction streams.
+go run ./cmd/doubleplay record -w racey -workers 2 -seed 11 \
+    -guest-profile "$obs/rec.pb" -o "$obs/prof.dplog" >/dev/null
+go run ./cmd/doubleplay replay -w racey -workers 2 -log "$obs/prof.dplog" \
+    -guest-profile "$obs/rep.pb" >/dev/null
+cmp -s "$obs/rec.pb" "$obs/rep.pb" || {
+    echo "profile: replay profile differs from record profile" >&2; exit 1; }
+# verify runs the same check itself, against every replay strategy.
+go run ./cmd/doubleplay verify -w fft -workers 2 -parallel \
+    -guest-profile "$obs/v.pb" | grep -q "guest profile:     OK" || {
+    echo "profile: verify did not report the profile self-check" >&2; exit 1; }
+# Certified recordings profile the thread-parallel execution itself;
+# replay must still regenerate that profile exactly.
+go run ./cmd/doubleplay record -w sigping -workers 2 -seed 11 \
+    -verify-policy certified -guest-profile "$obs/certrec.pb" \
+    -o "$obs/certprof.dplog" >/dev/null
+go run ./cmd/doubleplay replay -w sigping -workers 2 -log "$obs/certprof.dplog" \
+    -guest-profile "$obs/certrep.pb" >/dev/null
+cmp -s "$obs/certrec.pb" "$obs/certrep.pb" || {
+    echo "profile: certified recording's profile not regenerated by replay" >&2; exit 1; }
+# dptrace flame renders both views from the same artifact.
+go run ./cmd/dptrace flame -top 5 "$obs/rec.pb" | grep -q "function" || {
+    echo "profile: dptrace flame top table missing" >&2; exit 1; }
+go run ./cmd/dptrace flame -folded "$obs/rec.pb" | grep -q "main" || {
+    echo "profile: dptrace flame folded stacks missing" >&2; exit 1; }
+
 echo "== log-format gate (sectioned v6: inspect, extract, upgrade, doc links)"
 # A freshly recorded artifact must inspect as a seekable v6 log with an
 # intact index and no damaged section bodies.
@@ -112,6 +142,9 @@ grep -Eq "sections: +[1-9]" "$obs/li.out" || {
 if grep -q "ERROR" "$obs/li.out"; then
     echo "log inspect: damaged section bodies" >&2; cat "$obs/li.out" >&2; exit 1
 fi
+# The section table ends with a compressed/raw totals row.
+grep -Eq "total +[0-9]+ +[0-9]+ +[0-9]+\.[0-9]+" "$obs/li.out" || {
+    echo "log inspect: totals row missing from the section table" >&2; exit 1; }
 # Extracting an epoch range must yield a standalone 2-section log.
 go run ./cmd/doubleplay log extract -log "$obs/full.dplog" -epochs 1..2 -o "$obs/sub.dplog" >/dev/null
 go run ./cmd/doubleplay log inspect -log "$obs/sub.dplog" | grep -Eq "sections: +2" || {
