@@ -3,6 +3,7 @@ package main
 // The `doubleplay log` group: offline tooling over .dplog artifacts.
 //
 //	doubleplay log inspect -log pbzip.dplog            # header, section table, index health
+//	doubleplay log inspect -log pbzip.dplog -epoch 3   # one section's frame + boundary info
 //	doubleplay log upgrade -log old.dplog [-o new]     # migrate v4/v5 (or repair v6) in place
 //	doubleplay log extract -log a.dplog -epochs 3..5 -o sub.dplog
 //
@@ -34,8 +35,10 @@ func openLog(path string) *dplog.Reader {
 }
 
 // logInspect prints a log's header, per-section table, and index health
-// without decoding epochs it does not have to.
-func logInspect(path string) {
+// without decoding epochs it does not have to. epoch >= 0 selects one
+// section: its frame and decoded boundary info print instead of the
+// whole table.
+func logInspect(path string, epoch int) {
 	st, err := os.Stat(path)
 	check(err)
 	rd := openLog(path)
@@ -62,6 +65,10 @@ func logInspect(path string) {
 		fmt.Printf("index:     ok (%d entries, crc verified)\n", rd.NumSections())
 	}
 
+	if epoch >= 0 {
+		logInspectEpoch(rd, epoch)
+		return
+	}
 	if rd.NumSections() == 0 {
 		return
 	}
@@ -89,6 +96,54 @@ func logInspect(path string) {
 	}
 	fmt.Printf("  %5s %9s %8d %8d %6.2f\n",
 		"total", "", totStored, totRaw, float64(totStored)/float64(max(totRaw, 1)))
+}
+
+// logInspectEpoch prints one section's frame entry and the decoded
+// epoch's boundary info — the `-epoch N` view, for asking "what does the
+// log say about this one epoch" without the full totals table.
+func logInspectEpoch(rd *dplog.Reader, epoch int) {
+	secs := rd.Sections()
+	var sec *dplog.SectionInfo
+	var pos int
+	for i := range secs {
+		if secs[i].Epoch == epoch {
+			sec, pos = &secs[i], i
+			break
+		}
+	}
+	if sec == nil {
+		fatal(fmt.Sprintf("no section for epoch %d (log holds %d sections)", epoch, rd.NumSections()))
+	}
+	flags := ""
+	if sec.Compressed() {
+		flags += "C"
+	}
+	if sec.Certified() {
+		flags += "V"
+	}
+	if flags == "" {
+		flags = "-"
+	}
+	fmt.Printf("\nepoch %d: offset %d, stored %d, raw %d (ratio %.2f), flags %s, crc %08x\n",
+		sec.Epoch, sec.Offset, sec.Stored, sec.Raw,
+		float64(sec.Stored)/float64(max(sec.Raw, 1)), flags, sec.CRC)
+	ep, err := rd.EpochAt(pos)
+	if err != nil {
+		fatal(fmt.Sprintf("epoch %d body: %v", epoch, err))
+	}
+	var retired uint64
+	for _, w := range ep.Targets {
+		retired += w
+	}
+	fmt.Printf("  boundary: start %016x -> end %016x\n", ep.StartHash, ep.EndHash)
+	fmt.Printf("  targets:  %d threads, %d retired instructions at exit\n", len(ep.Targets), retired)
+	if ep.Certified {
+		fmt.Printf("  schedule: none (certified epoch free-runs under the sync-order gate)\n")
+	} else {
+		fmt.Printf("  schedule: %d timeslices\n", len(ep.Schedule))
+	}
+	fmt.Printf("  injects:  %d syscalls, %d signals, %d sync ops\n",
+		len(ep.Syscalls), len(ep.Signals), len(ep.SyncOrder))
 }
 
 // logUpgrade migrates a legacy log (or repairs a damaged v6 one) to the

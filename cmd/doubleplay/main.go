@@ -320,7 +320,15 @@ func main() {
 		if *logPath == "" {
 			usageErr("log inspect requires -log")
 		}
-		logInspect(*logPath)
+		// -epoch doubles as the section selector here (elsewhere it is the
+		// epoch length in cycles); only an explicit flag selects a section.
+		sel := -1
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "epoch" {
+				sel = int(*epochLen)
+			}
+		})
+		logInspect(*logPath, sel)
 
 	case "log upgrade":
 		if *logPath == "" {
@@ -521,7 +529,8 @@ commands:
   verify   record + replay in memory, checking every hash and the guest self-check
   inspect  print a recording's per-epoch log structure (decodes every epoch)
   log      .dplog file tooling (see docs/FORMAT.md):
-             log inspect -log f.dplog             header, section table, index health
+             log inspect -log f.dplog [-epoch N]  header, section table, index health
+                                                  (-epoch: one section's frame + boundary info)
              log upgrade -log f.dplog [-o out]    migrate v4/v5 or repair v6, in place by default
              log extract -log f.dplog -epochs n..m -o out
   disasm   disassemble a workload's guest program

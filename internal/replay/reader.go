@@ -17,37 +17,46 @@ import (
 	"doubleplay/internal/vm"
 )
 
-// epochSource abstracts where a replay strategy reads its per-epoch logs
+// Source abstracts where a replay strategy reads its per-epoch logs
 // from: a decoded *dplog.Recording (free access) or a *dplog.Reader
 // (per-section decode on demand). Epochs are addressed by position in
 // recording order; for a full log, position and epoch id coincide.
-type epochSource interface {
-	numEpochs() int
-	epochAt(i int) (*dplog.EpochLog, error)
-	program() string
-	quantum() int64
-	finalHash() uint64
+// Every strategy in this package — and the debug session built on top of
+// it — runs against this one interface, so "which bytes back the log"
+// can never change what a replay computes.
+type Source interface {
+	NumEpochs() int
+	EpochAt(i int) (*dplog.EpochLog, error)
+	Program() string
+	Quantum() int64
+	FinalHash() uint64
 }
+
+// FromRecording adapts a fully decoded recording as a Source.
+func FromRecording(rec *dplog.Recording) Source { return recSource{rec} }
+
+// FromReader adapts a seekable log reader as a Source.
+func FromReader(rd *dplog.Reader) Source { return readerSource{rd} }
 
 // recSource adapts a fully decoded recording.
 type recSource struct{ rec *dplog.Recording }
 
-func (s recSource) numEpochs() int                         { return len(s.rec.Epochs) }
-func (s recSource) epochAt(i int) (*dplog.EpochLog, error) { return s.rec.Epochs[i], nil }
-func (s recSource) program() string                        { return s.rec.Program }
-func (s recSource) quantum() int64                         { return s.rec.Quantum }
-func (s recSource) finalHash() uint64                      { return s.rec.FinalHash }
+func (s recSource) NumEpochs() int                         { return len(s.rec.Epochs) }
+func (s recSource) EpochAt(i int) (*dplog.EpochLog, error) { return s.rec.Epochs[i], nil }
+func (s recSource) Program() string                        { return s.rec.Program }
+func (s recSource) Quantum() int64                         { return s.rec.Quantum }
+func (s recSource) FinalHash() uint64                      { return s.rec.FinalHash }
 
 // readerSource adapts a seekable log reader. dplog.Reader is safe for
 // concurrent use, so segment workers can decode their sections in
 // parallel.
 type readerSource struct{ rd *dplog.Reader }
 
-func (s readerSource) numEpochs() int                         { return s.rd.NumSections() }
-func (s readerSource) epochAt(i int) (*dplog.EpochLog, error) { return s.rd.EpochAt(i) }
-func (s readerSource) program() string                        { return s.rd.Header().Program }
-func (s readerSource) quantum() int64                         { return s.rd.Header().Quantum }
-func (s readerSource) finalHash() uint64                      { return s.rd.Header().FinalHash }
+func (s readerSource) NumEpochs() int                         { return s.rd.NumSections() }
+func (s readerSource) EpochAt(i int) (*dplog.EpochLog, error) { return s.rd.EpochAt(i) }
+func (s readerSource) Program() string                        { return s.rd.Header().Program }
+func (s readerSource) Quantum() int64                         { return s.rd.Header().Quantum }
+func (s readerSource) FinalHash() uint64                      { return s.rd.Header().FinalHash }
 
 // SequentialReader is SequentialCtx reading epochs straight from a
 // seekable log: each section is decoded right before it is replayed, so
@@ -65,7 +74,7 @@ func SequentialReaderProfiled(ctx context.Context, prog *vm.Program, rd *dplog.R
 // CheckpointsReader is Checkpoints reading epochs straight from a
 // seekable log, decoding each section as its epoch is reached.
 func CheckpointsReader(ctx context.Context, prog *vm.Program, rd *dplog.Reader, costs *vm.CostModel) ([]*epoch.Boundary, error) {
-	return checkpointsSrc(ctx, prog, readerSource{rd}, costs)
+	return CheckpointsFrom(ctx, prog, readerSource{rd}, costs)
 }
 
 // ParallelSparseReader is ParallelSparseCtx reading epochs straight from

@@ -180,13 +180,13 @@ func SequentialProfiled(ctx context.Context, prog *vm.Program, rec *dplog.Record
 
 // sequentialSrc is the sequential strategy over any epoch source: a fully
 // decoded recording or a seekable log reader.
-func sequentialSrc(ctx context.Context, prog *vm.Program, src epochSource, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
+func sequentialSrc(ctx context.Context, prog *vm.Program, src Source, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
 	var pid int64
 	if trace.Enabled(sink) {
-		pid = sink.AllocPid("replay " + src.program() + " (sequential)")
+		pid = sink.AllocPid("replay " + src.Program() + " (sequential)")
 		sink.NameThread(pid, 0, "epochs")
 	}
 	m := vm.NewMachine(prog, nil, costs)
@@ -196,8 +196,8 @@ func sequentialSrc(ctx context.Context, prog *vm.Program, src epochSource, costs
 		gp.Attach(m)
 	}
 	res := &Result{}
-	for i, n := 0, src.numEpochs(); i < n; i++ {
-		ep, err := src.epochAt(i)
+	for i, n := 0, src.NumEpochs(); i < n; i++ {
+		ep, err := src.EpochAt(i)
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +212,7 @@ func sequentialSrc(ctx context.Context, prog *vm.Program, src epochSource, costs
 		if trace.Enabled(sink) {
 			buf = trace.NewSink()
 		}
-		c, err := runEpochPhase(ctx, m, ep, costs, src.quantum(), buf)
+		c, err := runEpochPhase(ctx, m, ep, costs, src.Quantum(), buf)
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +226,7 @@ func sequentialSrc(ctx context.Context, prog *vm.Program, src epochSource, costs
 		res.Epochs++
 	}
 	res.FinalHash = m.StateHash()
-	if want := src.finalHash(); res.FinalHash != want {
+	if want := src.FinalHash(); res.FinalHash != want {
 		return nil, fmt.Errorf("replay: final hash %016x != recorded %016x", res.FinalHash, want)
 	}
 	if gp != nil {
@@ -400,7 +400,7 @@ func ParallelSparseProfiled(ctx context.Context, prog *vm.Program, rec *dplog.Re
 // seekable log reader each segment decodes only its own sections — and
 // does so concurrently with the other segments, instead of one up-front
 // sequential decode of the whole file.
-func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
+func parallelSparseSrc(ctx context.Context, prog *vm.Program, src Source, sparse []*epoch.Boundary, cpus int, costs *vm.CostModel, sink trace.Recorder, prof *profile.Profile) (*Result, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
@@ -411,7 +411,7 @@ func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, s
 		return nil, fmt.Errorf("replay: sparse boundaries must start at epoch 0")
 	}
 
-	n := src.numEpochs()
+	n := src.NumEpochs()
 	// Segment k covers epochs [sparse[k].Index, end_k) where end_k is the
 	// next boundary's index (or the end of the recording).
 	type segment struct {
@@ -430,7 +430,7 @@ func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, s
 		if b.Index == end {
 			continue // trailing boundary
 		}
-		first, err := src.epochAt(b.Index)
+		first, err := src.EpochAt(b.Index)
 		if err != nil {
 			return nil, err
 		}
@@ -464,7 +464,7 @@ func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, s
 				gp.Attach(m)
 			}
 			for pos := sg.lo; pos < sg.hi; pos++ {
-				ep, err := src.epochAt(pos)
+				ep, err := src.EpochAt(pos)
 				if err != nil {
 					errs[i] = err
 					return
@@ -481,7 +481,7 @@ func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, s
 				if segbuf.Enabled() {
 					epb = trace.NewSink()
 				}
-				c, err := runEpochPhase(ctx, m, ep, costs, src.quantum(), epb)
+				c, err := runEpochPhase(ctx, m, ep, costs, src.Quantum(), epb)
 				if err != nil {
 					errs[i] = err
 					return
@@ -512,7 +512,7 @@ func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, s
 
 	slots, wall := pack(durs, cpus)
 	if trace.Enabled(sink) {
-		pid := sink.AllocPid("replay " + src.program() + " (sparse segments)")
+		pid := sink.AllocPid("replay " + src.Program() + " (sparse segments)")
 		for c := 0; c < cpus; c++ {
 			sink.NameThread(pid, int64(c), fmt.Sprintf("core %d", c))
 		}
@@ -523,7 +523,7 @@ func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, s
 			sink.Splice(bufs[i], s.start, pid, int64(s.core))
 		}
 	}
-	return &Result{Cycles: wall, FinalHash: src.finalHash(), Epochs: n}, nil
+	return &Result{Cycles: wall, FinalHash: src.FinalHash(), Epochs: n}, nil
 }
 
 // Checkpoints reconstructs the epoch-start boundaries of a recording by
@@ -539,21 +539,23 @@ func parallelSparseSrc(ctx context.Context, prog *vm.Program, src epochSource, s
 // pass rebuilds the rest. The boundaries' World is nil — parallel replay
 // injects recorded syscall results and never consults a simulated OS.
 func Checkpoints(ctx context.Context, prog *vm.Program, rec *dplog.Recording, costs *vm.CostModel) ([]*epoch.Boundary, error) {
-	return checkpointsSrc(ctx, prog, recSource{rec}, costs)
+	return CheckpointsFrom(ctx, prog, recSource{rec}, costs)
 }
 
-// checkpointsSrc is the boundary-reconstruction pass over any epoch
-// source.
-func checkpointsSrc(ctx context.Context, prog *vm.Program, src epochSource, costs *vm.CostModel) ([]*epoch.Boundary, error) {
+// CheckpointsFrom is the boundary-reconstruction pass over any epoch
+// source — the single implementation behind Checkpoints and
+// CheckpointsReader, and the one the debug session uses to materialize
+// its seek targets.
+func CheckpointsFrom(ctx context.Context, prog *vm.Program, src Source, costs *vm.CostModel) ([]*epoch.Boundary, error) {
 	if costs == nil {
 		costs = vm.DefaultCosts()
 	}
 	m := vm.NewMachine(prog, nil, costs)
-	n := src.numEpochs()
+	n := src.NumEpochs()
 	out := make([]*epoch.Boundary, 0, n+1)
 	var cycles int64
 	for i := 0; i < n; i++ {
-		ep, err := src.epochAt(i)
+		ep, err := src.EpochAt(i)
 		if err != nil {
 			return nil, err
 		}
@@ -571,23 +573,35 @@ func checkpointsSrc(ctx context.Context, prog *vm.Program, src epochSource, cost
 			Hash:        ep.StartHash,
 			MappedPages: m.Mem.PageCount(),
 		})
-		c, err := runEpoch(m, ep, costs, src.quantum(), nil)
+		c, err := runEpoch(m, ep, costs, src.Quantum(), nil)
 		if err != nil {
 			return nil, err
 		}
 		cycles += c
 	}
-	if h, want := m.StateHash(), src.finalHash(); h != want {
+	if h, want := m.StateHash(), src.FinalHash(); h != want {
 		return nil, fmt.Errorf("replay: checkpoints: final hash %016x != recorded %016x", h, want)
 	}
 	out = append(out, &epoch.Boundary{
 		Index:       n,
 		Cycle:       cycles,
 		CP:          m.Checkpoint(),
-		Hash:        src.finalHash(),
+		Hash:        src.FinalHash(),
 		MappedPages: m.Mem.PageCount(),
 	})
 	return out, nil
+}
+
+// RunOneEpoch replays one epoch on m, which must hold the epoch's start
+// state, and verifies the recorded end hash. It is runEpoch exported for
+// the debug session's checkpoint materialization: restore a boundary,
+// run whole epochs at full speed, and only fall back to instruction
+// stepping (the Stepper) inside the epoch of interest.
+func RunOneEpoch(m *vm.Machine, ep *dplog.EpochLog, quantum int64, costs *vm.CostModel) (int64, error) {
+	if costs == nil {
+		costs = vm.DefaultCosts()
+	}
+	return runEpoch(m, ep, costs, quantum, nil)
 }
 
 // Thin returns every stride-th boundary, always keeping the first and

@@ -39,6 +39,12 @@ const (
 	// boundary hash and the guest self-check — the service form of
 	// `doubleplay verify`.
 	KindVerify Kind = "verify"
+	// KindDebugDiff runs divergence forensics over two stored recordings
+	// referenced by job id: bisect for the first epoch boundary at which
+	// their states diverge (or diff one specific boundary) and store the
+	// word-level state diff as the diff.json artifact — the service form
+	// of `dpdebug bisect`/`dpdebug diff`.
+	KindDebugDiff Kind = "debug_diff"
 )
 
 // State is a job's position in its lifecycle. Transitions are strictly
@@ -109,8 +115,16 @@ type Spec struct {
 
 	// RecordingJob references the record (or verify) job whose stored
 	// recording a replay job reproduces. The referenced job must have
-	// finished before the replay job runs.
+	// finished before the replay job runs. Debug-diff jobs compare it
+	// against RecordingJobB.
 	RecordingJob string `json:"recording_job,omitempty"`
+
+	// RecordingJobB is the second recording of a debug_diff job; both
+	// recordings must come from the same program build. Epoch selects one
+	// boundary to diff (> 0); when zero the job bisects for the first
+	// divergent boundary instead.
+	RecordingJobB string `json:"recording_job_b,omitempty"`
+	Epoch         int    `json:"epoch,omitempty"`
 
 	// TimeoutMS bounds the job's host execution time; 0 uses the server
 	// default. The timeout cancels the job cooperatively at the next
@@ -177,8 +191,24 @@ func (sp *Spec) Validate(jobExists func(id string) bool) error {
 		if sp.Workload != "" && workloads.Get(sp.Workload) == nil {
 			return fmt.Errorf("unknown workload %q", sp.Workload)
 		}
+	case KindDebugDiff:
+		if sp.RecordingJob == "" || sp.RecordingJobB == "" {
+			return fmt.Errorf("debug_diff job requires recording_job and recording_job_b (ids of finished record jobs)")
+		}
+		if jobExists != nil && !jobExists(sp.RecordingJob) {
+			return fmt.Errorf("recording_job %q is not a known job", sp.RecordingJob)
+		}
+		if jobExists != nil && !jobExists(sp.RecordingJobB) {
+			return fmt.Errorf("recording_job_b %q is not a known job", sp.RecordingJobB)
+		}
+		if sp.Epoch < 0 {
+			return fmt.Errorf("epoch must be >= 0 (0 bisects)")
+		}
+		if sp.Workload != "" && workloads.Get(sp.Workload) == nil {
+			return fmt.Errorf("unknown workload %q", sp.Workload)
+		}
 	default:
-		return fmt.Errorf("unknown job kind %q (want record, replay, or verify)", sp.Kind)
+		return fmt.Errorf("unknown job kind %q (want record, replay, verify, or debug_diff)", sp.Kind)
 	}
 	switch sp.Mode {
 	case "", ModeSequential, ModeParallel, ModeSparse:
@@ -227,6 +257,11 @@ type ResultSummary struct {
 	// GuestStacks counts the distinct call stacks in the guest profile of
 	// a job submitted with guest_profile.
 	GuestStacks int `json:"guest_stacks,omitempty"`
+
+	// FirstDivergence is a debug_diff job's answer: the first epoch
+	// boundary at which the two recordings' states differ (nil when the
+	// recordings agree everywhere). The full state diff is in diff.json.
+	FirstDivergence *int `json:"first_divergence,omitempty"`
 }
 
 // Job is one unit of work and its full lifecycle record. The server's
@@ -286,8 +321,11 @@ func (j *Job) info() Info {
 	}
 	base := "/jobs/" + j.ID
 	in.Links = map[string]string{"self": base, "trace": base + "/trace", "stats": base + "/stats"}
-	if j.Spec.Kind != KindReplay {
+	if j.Spec.Kind != KindReplay && j.Spec.Kind != KindDebugDiff {
 		in.Links["recording"] = base + "/recording"
+	}
+	if j.Spec.Kind == KindDebugDiff {
+		in.Links["diff"] = base + "/diff"
 	}
 	if j.Spec.GuestProfile {
 		in.Links["profile"] = base + "/profile"

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"doubleplay/internal/core"
+	"doubleplay/internal/debug"
 	"doubleplay/internal/dplog"
 	"doubleplay/internal/epoch"
 	"doubleplay/internal/profile"
@@ -238,6 +239,75 @@ func (s *Server) replayJob(ctx context.Context, id string, sp *Spec, sink trace.
 	return s.writeStats(id, rep)
 }
 
+// debugSession opens a time-travel session over one referenced
+// recording, defaulting the given spec copy's workload parameters from
+// that recording's header (each recording carries its own seed).
+func (s *Server) debugSession(ctx context.Context, sp *Spec) (*debug.Session, error) {
+	rd, err := s.loadRecording(sp)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := buildWorkload(*sp)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := debug.New(bt.Prog, replay.FromReader(rd), nil)
+	if err != nil {
+		return nil, fmt.Errorf("recording of job %s: %w", sp.RecordingJob, err)
+	}
+	sess.SetContext(ctx)
+	return sess, nil
+}
+
+// debugDiffJob runs divergence forensics over two stored recordings:
+// bisect for the first divergent epoch boundary (or diff the one the
+// spec names) and store the word-level state diff as diff.json.
+func (s *Server) debugDiffJob(ctx context.Context, id string, sp *Spec, sum *ResultSummary) error {
+	sa, err := s.debugSession(ctx, sp)
+	if err != nil {
+		return err
+	}
+	spB := *sp
+	spB.RecordingJob = sp.RecordingJobB
+	sb, err := s.debugSession(ctx, &spB)
+	if err != nil {
+		return err
+	}
+	var res *debug.BisectResult
+	if sp.Epoch > 0 {
+		d, derr := debug.DiffAt(sa, sb, sp.Epoch)
+		if derr != nil {
+			return derr
+		}
+		res = &debug.BisectResult{
+			Diverged: !d.Equal, Epoch: d.Epoch,
+			EpochsA: sa.NumEpochs(), EpochsB: sb.NumEpochs(),
+			HashA: d.HashA, HashB: d.HashB, Diff: d,
+		}
+	} else if res, err = debug.Bisect(sa, sb); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	if err := s.store.WriteJobArtifact(id, "diff.json", buf.Bytes()); err != nil {
+		return err
+	}
+	sum.Epochs = sa.NumEpochs()
+	if fh, herr := sa.BoundaryHash(sa.NumEpochs()); herr == nil {
+		sum.FinalHash = fmt.Sprintf("%016x", fh)
+	}
+	if res.Diverged {
+		e := res.Epoch
+		sum.FirstDivergence = &e
+		sum.Divergences = 1
+	}
+	return s.writeStats(id, res)
+}
+
 // verifyJob is the in-memory round trip: record, replay sequentially
 // (and in parallel when mode asks), and run the guest self-check.
 func (s *Server) verifyJob(ctx context.Context, id string, sp Spec, sink trace.Recorder, sum *ResultSummary) error {
@@ -296,6 +366,8 @@ func (s *Server) runJob(ctx context.Context, id string, sp Spec, sum *ResultSumm
 		err = s.replayJob(ctx, id, &sp, jt.sink, sum)
 	case KindVerify:
 		err = s.verifyJob(ctx, id, sp, jt.sink, sum)
+	case KindDebugDiff:
+		err = s.debugDiffJob(ctx, id, &sp, sum)
 	default:
 		err = fmt.Errorf("unknown job kind %q", sp.Kind)
 	}

@@ -395,6 +395,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	GET    /jobs/{id}/recording stored recording (dplog binary)
 //	GET    /jobs/{id}/profile   guest pprof profile (jobs submitted with
 //	                            guest_profile; 409 until terminal)
+//	GET    /jobs/{id}/diff      state-diff artifact of a debug_diff job
+//	                            (409 until terminal, 404 for other kinds)
 //	GET    /recordings/{id}/epochs/{range}
 //	                            standalone dplog holding epochs n or n..m
 //	                            (400 bad range, 404 no job/recording,
@@ -414,6 +416,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/stats", s.handleStats)
 	mux.HandleFunc("GET /jobs/{id}/recording", s.handleRecording)
 	mux.HandleFunc("GET /jobs/{id}/profile", s.handleProfile)
+	mux.HandleFunc("GET /jobs/{id}/diff", s.handleDiff)
 	mux.HandleFunc("GET /recordings/{id}/epochs/{range}", s.handleEpochRange)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -539,6 +542,24 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	http.ServeFile(w, r, s.store.JobArtifact(j.ID, "profile.pb"))
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if j.Spec.Kind != KindDebugDiff {
+		writeErr(w, http.StatusNotFound, "job %s is a %s job, not debug_diff", j.ID, j.Spec.Kind)
+		return
+	}
+	if st := s.jobState(j); !st.Terminal() {
+		writeErr(w, http.StatusConflict, "job %s is %s; the diff is written when the job finishes", j.ID, st)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	http.ServeFile(w, r, s.store.JobArtifact(j.ID, "diff.json"))
 }
 
 func (s *Server) handleRecording(w http.ResponseWriter, r *http.Request) {

@@ -116,6 +116,13 @@ type Hooks struct {
 	// every syscall write. Atomic operations are reported as sync events
 	// instead.
 	OnMemAccess func(tid int, addr Word, write bool)
+	// OnMemWrite observes every guest memory write with its old and new
+	// values — data stores, atomic read-modify-writes (cas/fadd), and
+	// syscall result writes — just before the store lands. Unlike
+	// OnMemAccess it covers atomics, which is what data watchpoints need:
+	// the debug layer attaches here to stop when a watched word changes.
+	// Nil-checked at every site so the non-debug hot path pays one branch.
+	OnMemWrite func(tid int, addr, old, val Word)
 	// PendingSignal is consulted before each instruction of a live thread;
 	// returning (sig, true) delivers sig at that exact point. Delivery is a
 	// retiring event, so a signal's position is fully identified by the
@@ -298,6 +305,9 @@ func (m *Machine) memLoad(t *Thread, addr Word) Word {
 func (m *Machine) memStore(t *Thread, addr, val Word) {
 	if m.Hooks.OnMemAccess != nil {
 		m.Hooks.OnMemAccess(t.ID, addr, true)
+	}
+	if m.Hooks.OnMemWrite != nil {
+		m.Hooks.OnMemWrite(t.ID, addr, m.Mem.Peek(addr), val)
 	}
 	m.Mem.Store(addr, val)
 }
@@ -597,6 +607,9 @@ func (m *Machine) step(t *Thread) StepResult {
 			return StepResult{}
 		}
 		if m.Mem.Load(addr) == r[in.C] {
+			if m.Hooks.OnMemWrite != nil {
+				m.Hooks.OnMemWrite(t.ID, addr, r[in.C], r[in.D])
+			}
 			m.Mem.Store(addr, r[in.D])
 			r[in.A] = 1
 		} else {
@@ -610,6 +623,9 @@ func (m *Machine) step(t *Thread) StepResult {
 			return StepResult{}
 		}
 		old := m.Mem.Load(addr)
+		if m.Hooks.OnMemWrite != nil {
+			m.Hooks.OnMemWrite(t.ID, addr, old, old+r[in.C])
+		}
 		m.Mem.Store(addr, old+r[in.C])
 		r[in.A] = old
 		return retireSync(SyncEvent{Tid: t.ID, Obj: obj, Kind: SyncAtomic})

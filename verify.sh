@@ -145,6 +145,13 @@ fi
 # The section table ends with a compressed/raw totals row.
 grep -Eq "total +[0-9]+ +[0-9]+ +[0-9]+\.[0-9]+" "$obs/li.out" || {
     echo "log inspect: totals row missing from the section table" >&2; exit 1; }
+# -epoch narrows the output to one section's frame + boundary info.
+go run ./cmd/doubleplay log inspect -log "$obs/full.dplog" -epoch 1 >"$obs/li1.out"
+grep -q "boundary: start" "$obs/li1.out" || {
+    echo "log inspect -epoch: boundary info missing" >&2; exit 1; }
+if grep -q "total" "$obs/li1.out"; then
+    echo "log inspect -epoch: still dumps the totals table" >&2; exit 1
+fi
 # Extracting an epoch range must yield a standalone 2-section log.
 go run ./cmd/doubleplay log extract -log "$obs/full.dplog" -epochs 1..2 -o "$obs/sub.dplog" >/dev/null
 go run ./cmd/doubleplay log inspect -log "$obs/sub.dplog" | grep -Eq "sections: +2" || {
@@ -156,6 +163,40 @@ go run ./cmd/doubleplay log inspect -log "$obs/legacy.dplog" | grep -q "dplog v6
     echo "log upgrade: legacy log did not migrate to v6" >&2; exit 1; }
 # Every relative link in the documentation must resolve.
 ./scripts/check_links.sh >/dev/null
+
+echo "== debug gate (time-travel debugger: bisect pins the divergent epoch)"
+go build -o "$obs/dpdebug" ./cmd/dpdebug
+# Two recordings of the racy workload under different seeds start from
+# the identical state; the seeds only jitter the recorded schedules, so
+# the races resolve differently and the executions drift apart at a
+# fixed, known epoch. Recording is fully deterministic — the answer is
+# pinned, not flaky.
+go run ./cmd/doubleplay record -w racey -workers 2 -seed 1 -o "$obs/ra.dplog" >/dev/null
+go run ./cmd/doubleplay record -w racey -workers 2 -seed 4 -o "$obs/rb.dplog" >/dev/null
+bst=0
+"$obs/dpdebug" bisect -a "$obs/ra.dplog" -b "$obs/rb.dplog" >"$obs/bi.out" || bst=$?
+[ "$bst" -eq 3 ] || {
+    echo "dpdebug bisect: exit $bst, want 3 (divergence found)" >&2
+    cat "$obs/bi.out" >&2; exit 1; }
+grep -q "first divergent boundary: epoch 1 " "$obs/bi.out" || {
+    echo "dpdebug bisect: first divergent epoch is not the known epoch 1" >&2
+    cat "$obs/bi.out" >&2; exit 1; }
+# The answer must be byte-identical whichever byte path backs the
+# sessions: seeking the v6 log vs decoding the whole recording.
+"$obs/dpdebug" bisect -a "$obs/ra.dplog" -b "$obs/rb.dplog" -json >"$obs/bi1.json" || true
+"$obs/dpdebug" bisect -a "$obs/ra.dplog" -b "$obs/rb.dplog" -json -decode >"$obs/bi2.json" || true
+cmp -s "$obs/bi1.json" "$obs/bi2.json" || {
+    echo "dpdebug bisect: reader-backed and decoded sessions disagree" >&2; exit 1; }
+# A recording against itself never diverges (exit 0).
+"$obs/dpdebug" bisect -a "$obs/ra.dplog" -b "$obs/ra.dplog" >/dev/null || {
+    echo "dpdebug bisect: self-bisect reported divergence" >&2; exit 1; }
+# The repl steps, reverse-steps, and stops on a data watchpoint.
+printf 'run 1\nstep 3\nrstep 2\nwatch 0x100001\ncontinue\nquit\n' |
+    "$obs/dpdebug" repl -log "$obs/ra.dplog" 2>/dev/null >"$obs/repl.out"
+grep -q "at epoch 1 step 0 " "$obs/repl.out" || {
+    echo "dpdebug repl: run-to-epoch did not land on the boundary" >&2; exit 1; }
+grep -q "watch hit \[0x100001\]" "$obs/repl.out" || {
+    echo "dpdebug repl: continue did not stop on the watchpoint" >&2; exit 1; }
 
 echo "== serve gate (job daemon: record + replay-by-id over HTTP)"
 go build -o "$obs/doubleplay" ./cmd/doubleplay
