@@ -64,6 +64,13 @@ func main() {
 		}
 		cmd, args = "log "+args[0], args[1:]
 	}
+	// The `store` group nests the same way.
+	if cmd == "store" {
+		if len(args) == 0 {
+			usageErr("store requires a subcommand: stats, gc, fsck")
+		}
+		cmd, args = "store "+args[0], args[1:]
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
@@ -103,6 +110,12 @@ func main() {
 		jobTimeout   = fs.Duration("job-timeout", 2*time.Minute, "serve: default per-job timeout (0 disables; specs may override)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "serve: how long shutdown waits for running jobs before canceling them")
 		addrFile     = fs.String("addr-file", "", "serve: write the bound listen address to this file (for :0 listeners)")
+
+		// store-only flags (-data above selects the store directory).
+		jsonOut  = fs.Bool("json", false, "store stats/gc/fsck: print the report as JSON")
+		maxAge   = fs.Duration("max-age", 0, "store gc: collect unpinned recordings older than this (0 = no age limit)")
+		maxBytes = fs.Int64("max-bytes", 0, "store gc: keep newest unpinned recordings within this logical-byte budget (0 = no budget)")
+		dryRun   = fs.Bool("dry-run", false, "store gc: report what would be collected without deleting")
 	)
 	fs.Parse(args)
 	if *spares == 0 {
@@ -367,6 +380,15 @@ func main() {
 	case "serve":
 		serve(*listen, *dataDir, *pool, *queueDepth, *jobTimeout, *drainTimeout, *addrFile, *pprofFlag)
 
+	case "store stats":
+		storeStats(*dataDir, *jsonOut)
+
+	case "store gc":
+		storeGC(*dataDir, *maxAge, *maxBytes, *dryRun, *jsonOut)
+
+	case "store fsck":
+		storeFsck(*dataDir, *jsonOut)
+
 	default:
 		usageErr(fmt.Sprintf("unknown command %q", cmd))
 	}
@@ -535,5 +557,9 @@ commands:
              log extract -log f.dplog -epochs n..m -o out
   disasm   disassemble a workload's guest program
   races    run the happens-before detector over a workload
-  serve    run the record/replay job daemon (see docs/SERVER.md)`)
+  serve    run the record/replay job daemon (see docs/SERVER.md)
+  store    daemon artifact-store tooling (offline; -data selects the store):
+             store stats -data ./dpdata [-json]   chunk/dedup/space accounting
+             store gc -data ./dpdata [-max-age 720h] [-max-bytes N] [-dry-run]
+             store fsck -data ./dpdata [-json]    full integrity walk (exit 1 on damage)`)
 }

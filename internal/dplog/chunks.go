@@ -1,0 +1,293 @@
+package dplog
+
+// Chunk enumeration: the store's dedup layer splits a v6 recording on
+// section boundaries, and — for uncompressed sections — on the encoded
+// group boundaries *inside* each section payload. Epoch boundary hashes
+// and schedules entangle the seed into every epoch, so whole sections of
+// same-program/different-seed runs almost never match byte for byte; the
+// syscall and sync-order groups, in contrast, are driven by the program
+// and frequently do. Splitting the payload at those group boundaries is
+// what lets a content-addressed chunk store share them.
+//
+// The enumeration is a pure function of the file bytes: every chunk is a
+// verbatim [Offset, Offset+Len) span, the spans are contiguous, and they
+// cover the file exactly, so concatenating chunk contents reproduces the
+// recording bit for bit.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ChunkKind classifies a chunk span for stats and fsck narration; the
+// byte content is what identifies it in the store.
+type ChunkKind uint8
+
+const (
+	// ChunkHeader is the fixed file header, [0, bodyOff).
+	ChunkHeader ChunkKind = iota
+	// ChunkEpochMeta is a section's frame head plus the epoch metadata
+	// group (index, flags, boundary hashes, targets, schedule) — the
+	// seed-entangled part of an epoch.
+	ChunkEpochMeta
+	// ChunkSyscalls is a section's syscall group (count + records).
+	ChunkSyscalls
+	// ChunkSync is a section's trailing signal + sync-order groups.
+	ChunkSync
+	// ChunkSection is a whole section frame kept as one chunk (compressed
+	// sections, whose payload bytes expose no group boundaries).
+	ChunkSection
+	// ChunkIndex is the trailing section index plus footer.
+	ChunkIndex
+)
+
+// String names a chunk kind for reports.
+func (k ChunkKind) String() string {
+	switch k {
+	case ChunkHeader:
+		return "header"
+	case ChunkEpochMeta:
+		return "epoch-meta"
+	case ChunkSyscalls:
+		return "syscalls"
+	case ChunkSync:
+		return "sync"
+	case ChunkSection:
+		return "section"
+	case ChunkIndex:
+		return "index"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Chunk is one verbatim byte span of an encoded recording.
+type Chunk struct {
+	Kind   ChunkKind
+	Epoch  int // epoch id the span belongs to; -1 for header and index
+	Offset int64
+	Len    int64
+}
+
+// ErrNoChunks reports a file whose layout cannot be enumerated as
+// verbatim chunk spans (legacy v4/v5 streams and recovered logs, which
+// have no intact index).
+var ErrNoChunks = errors.New("dplog: no chunkable section layout")
+
+// minSubChunk folds sub-section groups smaller than this into the
+// preceding span: a two-byte chunk costs more to track than it can ever
+// save. The fold depends only on the section's own bytes, so two
+// identical sections always split identically.
+const minSubChunk = 16
+
+// Chunks enumerates the file as contiguous verbatim spans covering it
+// exactly: the header, per-section spans (split at the epoch-metadata /
+// syscall / sync group boundaries when the section is stored
+// uncompressed, whole otherwise), and the trailing index + footer.
+func (r *Reader) Chunks() ([]Chunk, error) {
+	if r.legacy != nil || r.recovered || r.idxOff == 0 {
+		return nil, ErrNoChunks
+	}
+	secs := make([]SectionInfo, len(r.index))
+	copy(secs, r.index)
+	sort.Slice(secs, func(i, j int) bool { return secs[i].Offset < secs[j].Offset })
+
+	chunks := make([]Chunk, 0, 3*len(secs)+2)
+	chunks = append(chunks, Chunk{Kind: ChunkHeader, Epoch: -1, Offset: 0, Len: r.bodyOff})
+	next := r.bodyOff
+	for _, info := range secs {
+		if info.Offset != next {
+			return nil, fmt.Errorf("dplog: section for epoch %d at offset %d, expected %d", info.Epoch, info.Offset, next)
+		}
+		sub, err := r.sectionChunks(info)
+		if err != nil {
+			return nil, err
+		}
+		chunks = append(chunks, sub...)
+		next = sub[len(sub)-1].Offset + sub[len(sub)-1].Len
+	}
+	if next != r.idxOff {
+		return nil, fmt.Errorf("dplog: sections end at offset %d, index starts at %d", next, r.idxOff)
+	}
+	chunks = append(chunks, Chunk{Kind: ChunkIndex, Epoch: -1, Offset: r.idxOff, Len: r.size - r.idxOff})
+	return chunks, nil
+}
+
+// sectionChunks splits one section frame into verbatim spans. The frame
+// head is re-parsed from the file (rather than re-encoded) so the split
+// is correct even for non-canonical varints.
+func (r *Reader) sectionChunks(info SectionInfo) ([]Chunk, error) {
+	br := newBreader(r.src, r.size, info.Offset)
+	marker, err := br.ReadByte()
+	if err != nil || marker != sectionMarker {
+		return nil, fmt.Errorf("dplog: epoch %d: no section frame at offset %d", info.Epoch, info.Offset)
+	}
+	d := &decoder{r: br}
+	got, payload, err := d.sectionHead(info.Offset)
+	if err != nil {
+		return nil, fmt.Errorf("dplog: epoch %d: %w", info.Epoch, err)
+	}
+	if got != info {
+		return nil, fmt.Errorf("dplog: epoch %d: section frame disagrees with index", info.Epoch)
+	}
+	end := br.pos
+	payloadStart := end - info.Stored
+	whole := Chunk{Kind: ChunkSection, Epoch: info.Epoch, Offset: info.Offset, Len: end - info.Offset}
+	if info.Compressed() {
+		return []Chunk{whole}, nil
+	}
+	metaLen, sysLen, err := epochGroupBounds(payload)
+	if err != nil {
+		return nil, fmt.Errorf("dplog: epoch %d: %w", info.Epoch, err)
+	}
+	out := []Chunk{{Kind: ChunkEpochMeta, Epoch: info.Epoch, Offset: info.Offset, Len: payloadStart - info.Offset + int64(metaLen)}}
+	push := func(kind ChunkKind, n int64) {
+		if n == 0 {
+			return
+		}
+		if n < minSubChunk {
+			out[len(out)-1].Len += n
+			return
+		}
+		last := out[len(out)-1]
+		out = append(out, Chunk{Kind: kind, Epoch: info.Epoch, Offset: last.Offset + last.Len, Len: n})
+	}
+	push(ChunkSyscalls, int64(sysLen-metaLen))
+	push(ChunkSync, int64(len(payload)-sysLen))
+	return out, nil
+}
+
+// epochGroupBounds parses an uncompressed section payload (the v6 epoch
+// body layout) and returns the byte offsets at which the epoch-metadata
+// group ends (after the schedule) and the syscall group ends (before
+// signals). The whole body is decoded, so a payload that would not
+// decode is rejected here rather than split wrong.
+func epochGroupBounds(body []byte) (metaEnd, sysEnd int, err error) {
+	sc := newPayloadScanner(body)
+	d := &decoder{r: sc}
+	if _, err = d.u(); err != nil { // index
+		return 0, 0, err
+	}
+	if _, err = d.u(); err != nil { // flags
+		return 0, 0, err
+	}
+	for i := 0; i < 3; i++ { // start/end/commit hashes
+		if _, err = d.u(); err != nil {
+			return 0, 0, err
+		}
+	}
+	nt, err := d.u()
+	if err != nil {
+		return 0, 0, err
+	}
+	if nt > 1<<20 {
+		return 0, 0, fmt.Errorf("target count %d too large", nt)
+	}
+	for i := uint64(0); i < nt; i++ {
+		if _, err = d.u(); err != nil {
+			return 0, 0, err
+		}
+	}
+	ns, err := d.u()
+	if err != nil {
+		return 0, 0, err
+	}
+	if ns > 1<<28 {
+		return 0, 0, fmt.Errorf("slice count %d too large", ns)
+	}
+	for i := uint64(0); i < ns; i++ {
+		if _, err = d.u(); err != nil {
+			return 0, 0, err
+		}
+		if _, err = d.u(); err != nil {
+			return 0, 0, err
+		}
+	}
+	metaEnd = sc.pos()
+	nsys, err := d.u()
+	if err != nil {
+		return 0, 0, err
+	}
+	if nsys > 1<<28 {
+		return 0, 0, fmt.Errorf("syscall count %d too large", nsys)
+	}
+	var sr SyscallRecord
+	for i := uint64(0); i < nsys; i++ {
+		if err = d.syscall(&sr); err != nil {
+			return 0, 0, err
+		}
+	}
+	sysEnd = sc.pos()
+	// Parse the remainder (signals + sync order) too, so a payload that
+	// would not decode never gets split.
+	nsig, err := d.u()
+	if err != nil {
+		return 0, 0, err
+	}
+	if nsig > 1<<28 {
+		return 0, 0, fmt.Errorf("signal count %d too large", nsig)
+	}
+	for i := uint64(0); i < nsig; i++ {
+		if _, err = d.u(); err != nil {
+			return 0, 0, err
+		}
+		if _, err = d.u(); err != nil {
+			return 0, 0, err
+		}
+		if _, err = d.i(); err != nil {
+			return 0, 0, err
+		}
+	}
+	nsync, err := d.u()
+	if err != nil {
+		return 0, 0, err
+	}
+	if nsync > 1<<28 {
+		return 0, 0, fmt.Errorf("sync count %d too large", nsync)
+	}
+	for i := uint64(0); i < nsync; i++ {
+		if _, err = d.u(); err != nil {
+			return 0, 0, err
+		}
+		if _, err = d.u(); err != nil {
+			return 0, 0, err
+		}
+		if _, err = d.i(); err != nil {
+			return 0, 0, err
+		}
+	}
+	if sc.pos() != len(body) {
+		return 0, 0, fmt.Errorf("trailing bytes after epoch body")
+	}
+	return metaEnd, sysEnd, nil
+}
+
+// payloadScanner is a byteScanner over a slice that exposes its position.
+type payloadScanner struct {
+	b []byte
+	n int
+}
+
+func newPayloadScanner(b []byte) *payloadScanner { return &payloadScanner{b: b} }
+
+func (s *payloadScanner) pos() int { return s.n }
+
+func (s *payloadScanner) ReadByte() (byte, error) {
+	if s.n >= len(s.b) {
+		return 0, errTruncatedPayload
+	}
+	c := s.b[s.n]
+	s.n++
+	return c, nil
+}
+
+func (s *payloadScanner) Read(p []byte) (int, error) {
+	if s.n >= len(s.b) {
+		return 0, errTruncatedPayload
+	}
+	n := copy(p, s.b[s.n:])
+	s.n += n
+	return n, nil
+}
+
+var errTruncatedPayload = errors.New("dplog: truncated section payload")

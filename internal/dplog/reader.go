@@ -96,7 +96,11 @@ type Reader struct {
 	hdr  Header
 	// bodyOff is the file offset of the first section: where the fixed
 	// header ends, and where an index-recovery scan starts.
-	bodyOff   int64
+	bodyOff int64
+	// idxOff is the file offset of the section index (the first byte of
+	// the DPIX magic); zero for legacy and recovered files, where no
+	// intact index was located.
+	idxOff    int64
 	index     []SectionInfo
 	byID      map[int]int // epoch id -> position in index
 	recovered bool
@@ -192,6 +196,7 @@ func (r *Reader) loadIndex() error {
 		seen[s.Epoch] = true
 	}
 	r.index = entries
+	r.idxOff = idxOff
 	return nil
 }
 
@@ -222,6 +227,9 @@ func newBytesScanner(b []byte) byteScanner { return bytes.NewReader(b) }
 
 // Header returns the file's decoded fixed header.
 func (r *Reader) Header() Header { return r.hdr }
+
+// Size returns the encoded recording's byte length.
+func (r *Reader) Size() int64 { return r.size }
 
 // Legacy reports whether the file predates the sectioned format (v4/v5).
 func (r *Reader) Legacy() bool { return r.legacy != nil }

@@ -27,12 +27,15 @@ func (s *Server) handleEpochRange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad epoch range %q: %v", r.PathValue("range"), err)
 		return
 	}
-	data, err := s.store.ReadRecording(j.ID)
+	// Open through the store's lazy handle: only the requested sections'
+	// chunks are read and reassembled, never the whole artifact.
+	h, err := s.store.OpenRecordingByJob(j.ID)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "job %s has no stored recording (state %s)", j.ID, s.jobState(j))
 		return
 	}
-	rd, err := dplog.OpenReaderBytes(data)
+	defer h.Close()
+	rd, err := dplog.OpenReader(h, h.Size())
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "job %s: stored recording is unreadable: %v", j.ID, err)
 		return

@@ -138,6 +138,13 @@ type Spec struct {
 	TraceMinSpan       int64 `json:"trace_min_span,omitempty"`
 	TraceCounterStride int   `json:"trace_counter_stride,omitempty"`
 
+	// Priority selects the queue lane: "interactive" jobs overtake
+	// "batch" jobs at the queue head (starvation-bounded; see
+	// internal/server/queue.go). Empty defaults by kind — record jobs are
+	// batch (campaign traffic), replay/verify/debug_diff jobs are
+	// interactive (someone is waiting on the answer).
+	Priority string `json:"priority,omitempty"`
+
 	// GuestProfile asks the job to gather the deterministic guest cycle
 	// profile (see internal/profile) and store it as the profile.pb
 	// artifact, fetchable at GET /jobs/{id}/profile. Record and verify
@@ -166,6 +173,13 @@ func (sp *Spec) Normalize() {
 	}
 	if sp.Mode == "" && (sp.Kind == KindReplay || sp.Kind == KindVerify) {
 		sp.Mode = ModeSequential
+	}
+	if sp.Priority == "" {
+		if sp.Kind == KindRecord {
+			sp.Priority = LaneBatch
+		} else {
+			sp.Priority = LaneInteractive
+		}
 	}
 }
 
@@ -232,6 +246,11 @@ func (sp *Spec) Validate(jobExists func(id string) bool) error {
 	}
 	if _, err := core.ParseVerifyPolicy(sp.VerifyPolicy); err != nil {
 		return fmt.Errorf("verify_policy %q: want always or certified", sp.VerifyPolicy)
+	}
+	switch sp.Priority {
+	case "", LaneInteractive, LaneBatch:
+	default:
+		return fmt.Errorf("unknown priority %q (want interactive or batch)", sp.Priority)
 	}
 	return nil
 }
@@ -323,6 +342,7 @@ func (j *Job) info() Info {
 	in.Links = map[string]string{"self": base, "trace": base + "/trace", "stats": base + "/stats"}
 	if j.Spec.Kind != KindReplay && j.Spec.Kind != KindDebugDiff {
 		in.Links["recording"] = base + "/recording"
+		in.Links["pin"] = base + "/pin"
 	}
 	if j.Spec.Kind == KindDebugDiff {
 		in.Links["diff"] = base + "/diff"

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"doubleplay/internal/core"
@@ -130,7 +131,13 @@ func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Reco
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	digest, err := s.store.PutBlob(dplog.MarshalBytes(res.Recording))
+	// Marshal without whole-section compression: the chunk store splits
+	// recordings on section-group boundaries and deduplicates the groups
+	// that repeat across same-workload runs (syscall results, sync
+	// order), which only line up byte-for-byte in the uncompressed form.
+	// Chunks are compressed at rest instead, so the dedup wins stack
+	// with, rather than fight, the compression wins.
+	digest, err := s.store.PutRecording(dplog.MarshalBytesWith(res.Recording, dplog.EncodeOptions{Compress: false}))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -150,25 +157,29 @@ func (s *Server) record(ctx context.Context, id string, sp Spec, sink trace.Reco
 }
 
 // loadRecording resolves a replay job's source recording as a seekable
-// log reader (legacy artifacts open through the same API) and defaults
-// the spec's workload parameters from its header so a minimal
-// {"kind":"replay","recording_job":...} body replays faithfully.
-func (s *Server) loadRecording(sp *Spec) (*dplog.Reader, error) {
+// log reader over the store's lazy handle — chunked artifacts
+// reassemble strided reads on demand rather than materializing the
+// whole log — and defaults the spec's workload parameters from its
+// header so a minimal {"kind":"replay","recording_job":...} body
+// replays faithfully. The returned closer releases the handle; callers
+// must keep it open for as long as the reader is in use.
+func (s *Server) loadRecording(sp *Spec) (*dplog.Reader, io.Closer, error) {
 	src, ok := s.getJob(sp.RecordingJob)
 	if !ok {
-		return nil, fmt.Errorf("recording_job %q is not a known job", sp.RecordingJob)
+		return nil, nil, fmt.Errorf("recording_job %q is not a known job", sp.RecordingJob)
 	}
 	srcState, srcScale := s.jobStateScale(src)
 	if srcState != StateDone {
-		return nil, fmt.Errorf("recording_job %s is %s, not done — submit replays after the recording finishes", sp.RecordingJob, srcState)
+		return nil, nil, fmt.Errorf("recording_job %s is %s, not done — submit replays after the recording finishes", sp.RecordingJob, srcState)
 	}
-	data, err := s.store.ReadRecording(sp.RecordingJob)
+	hd, err := s.store.OpenRecordingByJob(sp.RecordingJob)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rd, err := dplog.OpenReaderBytes(data)
+	rd, err := dplog.OpenReader(hd, hd.Size())
 	if err != nil {
-		return nil, fmt.Errorf("corrupt recording artifact for job %s: %w", sp.RecordingJob, err)
+		hd.Close()
+		return nil, nil, fmt.Errorf("corrupt recording artifact for job %s: %w", sp.RecordingJob, err)
 	}
 	h := rd.Header()
 	if sp.Workload == "" {
@@ -183,7 +194,7 @@ func (s *Server) loadRecording(sp *Spec) (*dplog.Reader, error) {
 	if srcScale > 0 {
 		sp.Scale = srcScale
 	}
-	return rd, nil
+	return rd, hd, nil
 }
 
 // replayJob replays a stored recording in the requested mode, seeking
@@ -191,10 +202,11 @@ func (s *Server) loadRecording(sp *Spec) (*dplog.Reader, error) {
 // first rebuild the epoch-start checkpoints from the log
 // (replay.CheckpointsReader) — the artifact carries only the logs.
 func (s *Server) replayJob(ctx context.Context, id string, sp *Spec, sink trace.Recorder, sum *ResultSummary) error {
-	rd, err := s.loadRecording(sp)
+	rd, closer, err := s.loadRecording(sp)
 	if err != nil {
 		return err
 	}
+	defer closer.Close()
 	bt, err := buildWorkload(*sp)
 	if err != nil {
 		return err
@@ -241,38 +253,44 @@ func (s *Server) replayJob(ctx context.Context, id string, sp *Spec, sink trace.
 
 // debugSession opens a time-travel session over one referenced
 // recording, defaulting the given spec copy's workload parameters from
-// that recording's header (each recording carries its own seed).
-func (s *Server) debugSession(ctx context.Context, sp *Spec) (*debug.Session, error) {
-	rd, err := s.loadRecording(sp)
+// that recording's header (each recording carries its own seed). The
+// returned closer releases the underlying store handle and must stay
+// open for the session's lifetime.
+func (s *Server) debugSession(ctx context.Context, sp *Spec) (*debug.Session, io.Closer, error) {
+	rd, closer, err := s.loadRecording(sp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	bt, err := buildWorkload(*sp)
 	if err != nil {
-		return nil, err
+		closer.Close()
+		return nil, nil, err
 	}
 	sess, err := debug.New(bt.Prog, replay.FromReader(rd), nil)
 	if err != nil {
-		return nil, fmt.Errorf("recording of job %s: %w", sp.RecordingJob, err)
+		closer.Close()
+		return nil, nil, fmt.Errorf("recording of job %s: %w", sp.RecordingJob, err)
 	}
 	sess.SetContext(ctx)
-	return sess, nil
+	return sess, closer, nil
 }
 
 // debugDiffJob runs divergence forensics over two stored recordings:
 // bisect for the first divergent epoch boundary (or diff the one the
 // spec names) and store the word-level state diff as diff.json.
 func (s *Server) debugDiffJob(ctx context.Context, id string, sp *Spec, sum *ResultSummary) error {
-	sa, err := s.debugSession(ctx, sp)
+	sa, ca, err := s.debugSession(ctx, sp)
 	if err != nil {
 		return err
 	}
+	defer ca.Close()
 	spB := *sp
 	spB.RecordingJob = sp.RecordingJobB
-	sb, err := s.debugSession(ctx, &spB)
+	sb, cb, err := s.debugSession(ctx, &spB)
 	if err != nil {
 		return err
 	}
+	defer cb.Close()
 	var res *debug.BisectResult
 	if sp.Epoch > 0 {
 		d, derr := debug.DiffAt(sa, sb, sp.Epoch)

@@ -7,11 +7,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	httppprof "net/http/pprof"
 	"sync"
 	"time"
 
+	"doubleplay/internal/store"
 	"doubleplay/internal/trace"
 )
 
@@ -70,7 +72,7 @@ func (c Config) withDefaults() Config {
 // worker pool, an artifact store, and the HTTP API over both.
 type Server struct {
 	cfg   Config
-	store *Store
+	store *store.Store
 	queue *Queue
 	reg   *trace.Registry
 
@@ -87,7 +89,7 @@ type Server struct {
 // New builds a Server; call Start to launch its worker pool.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	st, err := OpenStore(cfg.DataDir)
+	st, err := store.Open(cfg.DataDir, cfg.Registry)
 	if err != nil {
 		return nil, err
 	}
@@ -98,14 +100,22 @@ func New(cfg Config) (*Server, error) {
 		reg:   cfg.Registry,
 		jobs:  make(map[string]*Job),
 	}
-	s.reg.Set("serve.queue_depth", 0)
+	s.publishQueueGauges()
 	s.reg.Set("serve.workers_busy", 0)
 	s.reg.Set("serve.workers_total", float64(cfg.Workers))
 	return s, nil
 }
 
 // Store exposes the artifact store (tests and the CLI peek at it).
-func (s *Server) Store() *Store { return s.store }
+func (s *Server) Store() *store.Store { return s.store }
+
+// publishQueueGauges republishes the total and per-lane queue depths.
+func (s *Server) publishQueueGauges() {
+	s.reg.Set("serve.queue_depth", float64(s.queue.Len()))
+	for _, lane := range []string{LaneInteractive, LaneBatch} {
+		s.reg.Set("queue.lane_depth", float64(s.queue.LaneLen(lane)), trace.Label("lane", lane))
+	}
+}
 
 // Registry exposes the metrics registry the daemon reports into.
 func (s *Server) Registry() *trace.Registry { return s.reg }
@@ -157,7 +167,7 @@ func (s *Server) Submit(sp Spec) (Info, error) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j)
 	s.reg.Add("serve.jobs_submitted", 1, trace.Label("kind", string(sp.Kind)))
-	s.reg.Set("serve.queue_depth", float64(s.queue.Len()))
+	s.publishQueueGauges()
 	s.stateGaugesLocked()
 	return j.info(), nil
 }
@@ -212,7 +222,7 @@ func (s *Server) worker() {
 		if !ok {
 			return
 		}
-		s.reg.Set("serve.queue_depth", float64(s.queue.Len()))
+		s.publishQueueGauges()
 
 		s.mu.Lock()
 		if j.State != StateQueued { // canceled while queued
@@ -297,7 +307,7 @@ func (s *Server) Cancel(id string) (Info, bool) {
 			j.State = StateCanceled
 			j.Finished = time.Now()
 			j.Error = "canceled before start"
-			s.reg.Set("serve.queue_depth", float64(s.queue.Len()))
+			s.publishQueueGauges()
 			s.reg.Add("serve.jobs_completed", 1, trace.Label("outcome", string(StateCanceled)))
 			s.stateGaugesLocked()
 			info := j.info()
@@ -346,7 +356,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.reg.Add("serve.jobs_completed", 1, trace.Label("outcome", string(StateCanceled)))
 		}
 	}
-	s.reg.Set("serve.queue_depth", 0)
+	s.publishQueueGauges()
 	s.stateGaugesLocked()
 	s.mu.Unlock()
 
@@ -397,10 +407,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	                            guest_profile; 409 until terminal)
 //	GET    /jobs/{id}/diff      state-diff artifact of a debug_diff job
 //	                            (409 until terminal, 404 for other kinds)
+//	POST   /jobs/{id}/pin       pin the job's recording against GC
+//	DELETE /jobs/{id}/pin       remove the pin
 //	GET    /recordings/{id}/epochs/{range}
 //	                            standalone dplog holding epochs n or n..m
 //	                            (400 bad range, 404 no job/recording,
 //	                            416 epochs outside the log)
+//	GET    /admin/store         storage-tier stats (chunks, dedup ratio)
+//	POST   /admin/gc            run retention GC; body {"max_age_ms":..,
+//	                            "max_bytes":.., "dry_run":..}, returns the
+//	                            GC report
 //	GET    /metrics             Prometheus text format
 //	GET    /healthz             liveness + drain state
 //
@@ -417,7 +433,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/recording", s.handleRecording)
 	mux.HandleFunc("GET /jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("GET /jobs/{id}/diff", s.handleDiff)
+	mux.HandleFunc("POST /jobs/{id}/pin", s.handlePin)
+	mux.HandleFunc("DELETE /jobs/{id}/pin", s.handleUnpin)
 	mux.HandleFunc("GET /recordings/{id}/epochs/{range}", s.handleEpochRange)
+	mux.HandleFunc("GET /admin/store", s.handleStoreStats)
+	mux.HandleFunc("POST /admin/gc", s.handleGC)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.EnablePprof {
@@ -568,14 +588,90 @@ func (s *Server) handleRecording(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
-	data, err := s.store.ReadRecording(j.ID)
+	// Stream through the store's lazy handle: chunked recordings
+	// reassemble on the fly instead of materializing in the heap.
+	h, err := s.store.OpenRecordingByJob(j.ID)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "job %s has no stored recording (state %s)", j.ID, s.jobState(j))
 		return
 	}
+	defer h.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(h.Size()))
 	w.Header().Set("X-Recording-Digest", s.store.RecordingRef(j.ID))
-	_, _ = w.Write(data)
+	_, _ = io.Copy(w, io.NewSectionReader(h, 0, h.Size()))
+}
+
+// handlePin marks a job's recording as protected from retention GC.
+// Pinning is durable (a marker in the job's artifact directory) and
+// idempotent.
+func (s *Server) handlePin(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if err := s.store.Pin(j.ID); err != nil {
+		writeErr(w, http.StatusInternalServerError, "pinning job %s: %v", j.ID, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "pinned": true})
+}
+
+func (s *Server) handleUnpin(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if err := s.store.Unpin(j.ID); err != nil {
+		writeErr(w, http.StatusInternalServerError, "unpinning job %s: %v", j.ID, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "pinned": false})
+}
+
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.store.Stats()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "store stats: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// gcRequest is the POST /admin/gc body; zero fields mean "no limit"
+// (only orphans are swept), dry_run previews without deleting.
+type gcRequest struct {
+	MaxAgeMS int64 `json:"max_age_ms"`
+	MaxBytes int64 `json:"max_bytes"`
+	DryRun   bool  `json:"dry_run"`
+}
+
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	var req gcRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid gc request: %v", err)
+			return
+		}
+	}
+	if req.MaxAgeMS < 0 || req.MaxBytes < 0 {
+		writeErr(w, http.StatusBadRequest, "max_age_ms and max_bytes must be >= 0")
+		return
+	}
+	rep, err := s.store.GC(store.Policy{
+		MaxAge:   time.Duration(req.MaxAgeMS) * time.Millisecond,
+		MaxBytes: req.MaxBytes,
+		DryRun:   req.DryRun,
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "gc: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,7 @@ import (
 	"doubleplay/internal/dplog"
 	"doubleplay/internal/dptrace"
 	"doubleplay/internal/server"
+	"doubleplay/internal/store"
 	"doubleplay/internal/trace"
 )
 
@@ -190,7 +191,7 @@ func TestEndToEndRecordThenReplayByID(t *testing.T) {
 	if got := resp.Header.Get("X-Recording-Digest"); got != digest {
 		t.Fatalf("digest header %q != result digest %q", got, digest)
 	}
-	if server.Digest(data) != digest {
+	if store.Digest(data) != digest {
 		t.Fatalf("served recording bytes do not hash to %s", digest)
 	}
 	rec, err := dplog.Unmarshal(bytes.NewReader(data))

@@ -1,88 +1,31 @@
 package server_test
 
+// Queue tests. The artifact-store tests live with the store itself in
+// internal/store; these cover the daemon's two-lane priority queue.
+
 import (
-	"bytes"
-	"os"
-	"path/filepath"
 	"testing"
 	"time"
 
 	"doubleplay/internal/server"
 )
 
-func TestStoreBlobRoundTrip(t *testing.T) {
-	st, err := server.OpenStore(t.TempDir())
-	if err != nil {
-		t.Fatalf("OpenStore: %v", err)
-	}
-	data := []byte("the quick brown fox")
-	d1, err := st.PutBlob(data)
-	if err != nil {
-		t.Fatalf("PutBlob: %v", err)
-	}
-	if d1 != server.Digest(data) {
-		t.Fatalf("PutBlob digest %s != Digest %s", d1, server.Digest(data))
-	}
-	// Re-putting identical content dedups onto the same blob.
-	d2, err := st.PutBlob(append([]byte(nil), data...))
-	if err != nil || d2 != d1 {
-		t.Fatalf("dedup PutBlob: %s, %v", d2, err)
-	}
-	got, err := st.ReadBlob(d1)
-	if err != nil || !bytes.Equal(got, data) {
-		t.Fatalf("ReadBlob: %q, %v", got, err)
-	}
-	entries, err := os.ReadDir(filepath.Join(st.Root(), "blobs"))
-	if err != nil {
-		t.Fatalf("ReadDir: %v", err)
-	}
-	if len(entries) != 1 {
-		t.Fatalf("blobs dir has %d entries, want 1 (no temp litter, deduped)", len(entries))
-	}
-	// Digests are validated before touching the filesystem.
-	if _, err := st.ReadBlob("../../etc/passwd"); err == nil {
-		t.Fatalf("ReadBlob accepted a path-traversal digest")
-	}
-	if _, err := st.ReadBlob("sha256-zz"); err == nil {
-		t.Fatalf("ReadBlob accepted a malformed digest")
-	}
+// job builds a queued job in the given priority lane (empty means the
+// interactive default lane).
+func job(id, priority string) *server.Job {
+	return &server.Job{ID: id, Spec: server.Spec{Priority: priority}}
 }
 
-func TestStoreRecordingRef(t *testing.T) {
-	st, err := server.OpenStore(t.TempDir())
-	if err != nil {
-		t.Fatalf("OpenStore: %v", err)
-	}
-	if ref := st.RecordingRef("nope"); ref != "" {
-		t.Fatalf("RecordingRef of unknown job = %q", ref)
-	}
-	data := []byte("recording bytes")
-	d, err := st.PutBlob(data)
-	if err != nil {
-		t.Fatalf("PutBlob: %v", err)
-	}
-	if err := st.SetRecordingRef("job1", d); err != nil {
-		t.Fatalf("SetRecordingRef: %v", err)
-	}
-	if got := st.RecordingRef("job1"); got != d {
-		t.Fatalf("RecordingRef = %q, want %q", got, d)
-	}
-	back, err := st.ReadRecording("job1")
-	if err != nil || !bytes.Equal(back, data) {
-		t.Fatalf("ReadRecording: %q, %v", back, err)
-	}
-}
-
-func TestQueueFIFOAndBounds(t *testing.T) {
+func TestQueueFIFOWithinLaneAndBounds(t *testing.T) {
 	q := server.NewQueue(2)
-	a, b := &server.Job{ID: "a"}, &server.Job{ID: "b"}
-	if err := q.Push(a); err != nil {
+	if err := q.Push(job("a", server.LaneBatch)); err != nil {
 		t.Fatalf("Push a: %v", err)
 	}
-	if err := q.Push(b); err != nil {
+	if err := q.Push(job("b", server.LaneBatch)); err != nil {
 		t.Fatalf("Push b: %v", err)
 	}
-	if err := q.Push(&server.Job{ID: "c"}); err != server.ErrQueueFull {
+	// The bound covers both lanes together.
+	if err := q.Push(job("c", server.LaneInteractive)); err != server.ErrQueueFull {
 		t.Fatalf("Push over capacity: %v, want ErrQueueFull", err)
 	}
 	if q.Len() != 2 {
@@ -96,12 +39,56 @@ func TestQueueFIFOAndBounds(t *testing.T) {
 	}
 }
 
-func TestQueueRemoveAndClose(t *testing.T) {
-	q := server.NewQueue(4)
-	q.Push(&server.Job{ID: "a"})
-	q.Push(&server.Job{ID: "b"})
-	if !q.Remove("a") {
-		t.Fatalf("Remove(a) = false")
+func TestQueueInteractiveOvertakesBatch(t *testing.T) {
+	q := server.NewQueue(8)
+	q.Push(job("batch1", server.LaneBatch))
+	q.Push(job("batch2", server.LaneBatch))
+	q.Push(job("int1", server.LaneInteractive))
+	q.Push(job("int2", server.LaneInteractive))
+	if q.LaneLen(server.LaneInteractive) != 2 || q.LaneLen(server.LaneBatch) != 2 {
+		t.Fatalf("lane depths %d/%d", q.LaneLen(server.LaneInteractive), q.LaneLen(server.LaneBatch))
+	}
+	// Interactive jobs pop first despite arriving later; each lane stays
+	// FIFO.
+	want := []string{"int1", "int2", "batch1", "batch2"}
+	for _, id := range want {
+		j, ok := q.Pop()
+		if !ok || j.ID != id {
+			t.Fatalf("Pop = %v %v, want %s", j, ok, id)
+		}
+	}
+}
+
+func TestQueueStarvationBound(t *testing.T) {
+	q := server.NewQueue(64)
+	q.Push(job("batch", server.LaneBatch))
+	for i := 0; i < 10; i++ {
+		q.Push(job("int", server.LaneInteractive))
+	}
+	// With batch work waiting, at most starvationBound (4) interactive
+	// jobs run before the batch job gets a turn.
+	batchAt := -1
+	for i := 0; i < 11; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue drained early at %d", i)
+		}
+		if j.ID == "batch" {
+			batchAt = i
+			break
+		}
+	}
+	if batchAt < 0 || batchAt > 4 {
+		t.Fatalf("batch job popped at position %d, want within the starvation bound of 4", batchAt)
+	}
+}
+
+func TestQueueRemoveAcrossLanesAndClose(t *testing.T) {
+	q := server.NewQueue(8)
+	q.Push(job("a", server.LaneInteractive))
+	q.Push(job("b", server.LaneBatch))
+	if !q.Remove("a") || !q.Remove("b") {
+		t.Fatalf("Remove across lanes failed")
 	}
 	if q.Remove("a") {
 		t.Fatalf("Remove(a) twice = true")
@@ -124,14 +111,20 @@ func TestQueueRemoveAndClose(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatalf("Pop did not wake on Close")
 	}
-	if err := q2.Push(&server.Job{ID: "x"}); err != server.ErrQueueClosed {
+	if err := q2.Push(job("x", "")); err != server.ErrQueueClosed {
 		t.Fatalf("Push after Close: %v, want ErrQueueClosed", err)
 	}
 
-	// Drain hands back what never ran.
-	q.Close()
-	left := q.Drain()
-	if len(left) != 1 || left[0].ID != "b" {
+	// Drain hands back what never ran, from both lanes.
+	q3 := server.NewQueue(8)
+	q3.Push(job("i", server.LaneInteractive))
+	q3.Push(job("b", server.LaneBatch))
+	q3.Close()
+	left := q3.Drain()
+	if len(left) != 2 {
 		t.Fatalf("Drain = %v", left)
+	}
+	if q3.Len() != 0 {
+		t.Fatalf("Len after Drain = %d", q3.Len())
 	}
 }

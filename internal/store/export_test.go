@@ -1,0 +1,5 @@
+package store
+
+// SetSweepHook installs a test hook that runs between GC's mark and
+// sweep phases, with the store mutex held.
+func (s *Store) SetSweepHook(f func()) { s.sweepHook = f }

@@ -1,0 +1,44 @@
+package store_test
+
+import (
+	"bytes"
+	"testing"
+
+	"doubleplay/internal/store"
+)
+
+// FuzzManifest feeds arbitrary bytes to the DPMF decoder. The decoder
+// must never panic, and anything it accepts must survive a semantic
+// round trip: decode → encode → decode yields the same manifest. (Byte
+// identity is not required — non-canonical varints decode fine but
+// re-encode canonically.)
+func FuzzManifest(f *testing.F) {
+	m := &store.Manifest{Total: 60}
+	m.Chunks = []store.ManifestChunk{
+		{Digest: store.Digest([]byte("x")), Len: 25, Kind: 2},
+		{Digest: store.Digest([]byte("y")), Len: 35, Kind: 4},
+	}
+	f.Add(m.Encode())
+	f.Add([]byte{})
+	f.Add([]byte("DPMF"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := store.DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		re := got.Encode()
+		got2, err := store.DecodeManifest(re)
+		if err != nil {
+			t.Fatalf("re-encoded manifest failed to decode: %v", err)
+		}
+		if got.Total != got2.Total || len(got.Chunks) != len(got2.Chunks) {
+			t.Fatalf("round trip changed manifest: %+v vs %+v", got, got2)
+		}
+		for i := range got.Chunks {
+			if got.Chunks[i] != got2.Chunks[i] {
+				t.Fatalf("chunk %d changed: %+v vs %+v", i, got.Chunks[i], got2.Chunks[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,435 @@
+// Package store is the daemon's storage tier: a sharded, chunk-level
+// deduplicating artifact store for recordings, with retention/GC,
+// job-level pinning, and integrity checking (fsck).
+//
+// Layout on disk:
+//
+//	<root>/blobs/<aa>/sha256-<hex>     whole artifacts, content-addressed
+//	<root>/chunks/<aa>/sha256-<hex>    dedup chunks (1 flag byte + payload,
+//	                                   optionally DEFLATE at rest; the
+//	                                   digest addresses the *raw* bytes)
+//	<root>/manifests/<aa>/sha256-<hex> chunk manifests, named by the digest
+//	                                   of the recording they reassemble
+//	<root>/jobs/<id>/...               per-job artifacts
+//	<root>/jobs/<id>/recording.ref     digest of the job's recording
+//	<root>/jobs/<id>/pinned            pin marker (protects from GC)
+//
+// The two-hex-character shard directory (the first byte of the digest)
+// keeps any single directory from accumulating millions of entries; a
+// flat pre-sharding layout migrates transparently at Open.
+//
+// PutRecording splits a v6 recording on its section and intra-section
+// group boundaries (dplog.Reader.Chunks), stores each span
+// content-addressed, and writes a manifest — so same-program/
+// different-seed runs share their program-driven syscall and sync-order
+// bytes. Crash-safe ordering: chunks are durable before the manifest
+// that names them, and GC removes refs before manifests before chunks,
+// so an interrupted operation can strand an orphan (reclaimed by the
+// next GC) but never a dangling reference.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"doubleplay/internal/dplog"
+	"doubleplay/internal/trace"
+)
+
+// Store is the artifact store handle. All mutating operations and GC
+// serialize on an internal mutex, so a sweep never races a concurrent
+// put or pin.
+type Store struct {
+	root string
+	reg  *trace.Registry
+
+	mu sync.Mutex
+
+	// sweepHook, when set by tests, runs between the mark and sweep
+	// phases of GC (with the store mutex held).
+	sweepHook func()
+}
+
+// Open creates (if needed) and opens the artifact layout under root,
+// migrating any flat pre-sharding blobs into their shard directories.
+// reg, when non-nil, receives the store.* gauges.
+func Open(root string, reg *trace.Registry) (*Store, error) {
+	for _, dir := range []string{root, filepath.Join(root, "blobs"), filepath.Join(root, "chunks"),
+		filepath.Join(root, "manifests"), filepath.Join(root, "jobs")} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{root: root, reg: reg}
+	if err := s.migrateFlat(); err != nil {
+		return nil, err
+	}
+	s.publishStats()
+	return s, nil
+}
+
+// Root returns the store's base directory.
+func (s *Store) Root() string { return s.root }
+
+// migrateFlat moves pre-sharding `blobs/sha256-<hex>` files into their
+// shard directories. Idempotent; a partially migrated store finishes on
+// the next Open.
+func (s *Store) migrateFlat() error {
+	dir := filepath.Join(s.root, "blobs")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !validDigest(e.Name()) {
+			continue
+		}
+		dst := s.shardPath("blobs", e.Name())
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return fmt.Errorf("store: migrate: %w", err)
+		}
+		if err := os.Rename(filepath.Join(dir, e.Name()), dst); err != nil {
+			return fmt.Errorf("store: migrate: %w", err)
+		}
+	}
+	return nil
+}
+
+// Digest computes the content address of a byte string.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return "sha256-" + hex.EncodeToString(sum[:])
+}
+
+// digester streams bytes into a content address (fsck reassembly).
+type digester struct{ h hash.Hash }
+
+func newDigester() *digester                    { return &digester{h: sha256.New()} }
+func (d *digester) Write(p []byte) (int, error) { return d.h.Write(p) }
+func (d *digester) digest() string              { return "sha256-" + hex.EncodeToString(d.h.Sum(nil)) }
+
+// validDigest guards digests read back from refs and directory listings
+// before they are used as path components.
+func validDigest(d string) bool {
+	rest, ok := strings.CutPrefix(d, "sha256-")
+	if !ok || len(rest) != 64 {
+		return false
+	}
+	_, err := hex.DecodeString(rest)
+	return err == nil
+}
+
+// shardPath maps a digest into a namespace ("blobs", "chunks",
+// "manifests"): <root>/<ns>/<first hex byte>/<digest>.
+func (s *Store) shardPath(ns, digest string) string {
+	return filepath.Join(s.root, ns, digest[len("sha256-"):len("sha256-")+2], digest)
+}
+
+// BlobPath maps a digest to its (sharded) whole-blob path.
+func (s *Store) BlobPath(digest string) string { return s.shardPath("blobs", digest) }
+
+// writeFileAtomic lands data at path via a temp file in the same
+// directory and a rename. Rename-over semantics make concurrent writers
+// of the same content-addressed path safe: whichever rename lands last
+// wins, and both wrote identical bytes.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// PutBlob stores data as one whole content-addressed blob. Existing
+// blobs short-circuit (content addressing makes the write a no-op), and
+// the slow path renames over the destination, so concurrent puts of the
+// same digest are safe: they race only on which identical file lands.
+func (s *Store) PutBlob(data []byte) (digest string, err error) {
+	digest = Digest(data)
+	path := s.BlobPath(digest)
+	if _, err := os.Stat(path); err == nil {
+		return digest, nil
+	}
+	if err := writeFileAtomic(path, data); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	return digest, nil
+}
+
+// ReadBlob loads a whole blob by digest.
+func (s *Store) ReadBlob(digest string) ([]byte, error) {
+	if !validDigest(digest) {
+		return nil, fmt.Errorf("store: invalid digest %q", digest)
+	}
+	return os.ReadFile(s.BlobPath(digest))
+}
+
+// putChunk stores one raw chunk content-addressed, DEFLATE-compressed at
+// rest when that shrinks it. It reports whether a new file was created.
+func (s *Store) putChunk(raw []byte) (digest string, created bool, err error) {
+	digest = Digest(raw)
+	path := s.shardPath("chunks", digest)
+	if _, err := os.Stat(path); err == nil {
+		return digest, false, nil
+	}
+	if err := writeFileAtomic(path, encodeChunk(raw)); err != nil {
+		return "", false, fmt.Errorf("store: chunk: %w", err)
+	}
+	return digest, true, nil
+}
+
+// readChunk loads and decodes one chunk's raw bytes.
+func (s *Store) readChunk(digest string) ([]byte, error) {
+	if !validDigest(digest) {
+		return nil, fmt.Errorf("store: invalid chunk digest %q", digest)
+	}
+	data, err := os.ReadFile(s.shardPath("chunks", digest))
+	if err != nil {
+		return nil, err
+	}
+	return decodeChunk(data)
+}
+
+// PutRecording stores an encoded recording with chunk-level dedup: the
+// artifact is split on its dplog section and group boundaries, each span
+// stored content-addressed, and a manifest written under the recording's
+// own digest. Artifacts that expose no chunkable layout (legacy formats)
+// fall back to one whole blob under the same digest, so RecordingRef
+// resolution is uniform. Chunks land before the manifest that references
+// them — a crash strands orphan chunks, never a dangling manifest.
+func (s *Store) PutRecording(data []byte) (digest string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.publishStats()
+	digest = Digest(data)
+	if _, err := os.Stat(s.shardPath("manifests", digest)); err == nil {
+		return digest, nil
+	}
+	rd, err := dplog.OpenReaderBytes(data)
+	if err != nil {
+		return s.PutBlob(data)
+	}
+	chunks, err := rd.Chunks()
+	if err != nil {
+		return s.PutBlob(data)
+	}
+	man := &Manifest{Total: int64(len(data))}
+	for _, c := range chunks {
+		cd, _, err := s.putChunk(data[c.Offset : c.Offset+c.Len])
+		if err != nil {
+			return "", err
+		}
+		man.Chunks = append(man.Chunks, ManifestChunk{Digest: cd, Len: c.Len, Kind: uint8(c.Kind)})
+	}
+	if err := writeFileAtomic(s.shardPath("manifests", digest), man.Encode()); err != nil {
+		return "", fmt.Errorf("store: manifest: %w", err)
+	}
+	return digest, nil
+}
+
+// loadManifest reads and decodes the manifest stored under digest.
+func (s *Store) loadManifest(digest string) (*Manifest, error) {
+	data, err := os.ReadFile(s.shardPath("manifests", digest))
+	if err != nil {
+		return nil, err
+	}
+	man, err := DecodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: manifest %s: %w", digest, err)
+	}
+	return man, nil
+}
+
+// HasRecording reports whether digest resolves to a stored recording
+// (chunked or whole-blob).
+func (s *Store) HasRecording(digest string) bool {
+	if !validDigest(digest) {
+		return false
+	}
+	if _, err := os.Stat(s.shardPath("manifests", digest)); err == nil {
+		return true
+	}
+	_, err := os.Stat(s.BlobPath(digest))
+	return err == nil
+}
+
+// ---- job artifacts ----
+
+// JobDir creates (if needed) and returns a job's artifact directory.
+func (s *Store) JobDir(id string) (string, error) {
+	dir := filepath.Join(s.root, "jobs", id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	return dir, nil
+}
+
+// JobArtifact returns the path of a named artifact in a job's directory
+// (without creating anything).
+func (s *Store) JobArtifact(id, name string) string {
+	return filepath.Join(s.root, "jobs", id, name)
+}
+
+// WriteJobArtifact writes one artifact into a job's directory.
+func (s *Store) WriteJobArtifact(id, name string, data []byte) error {
+	dir, err := s.JobDir(id)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), data, 0o644)
+}
+
+// SetRecordingRef records which stored recording a job produced.
+func (s *Store) SetRecordingRef(id, digest string) error {
+	return s.WriteJobArtifact(id, "recording.ref", []byte(digest+"\n"))
+}
+
+// RecordingRef resolves a job's recording digest, or "" when the job has
+// no stored recording.
+func (s *Store) RecordingRef(id string) string {
+	data, err := os.ReadFile(s.JobArtifact(id, "recording.ref"))
+	if err != nil {
+		return ""
+	}
+	d := strings.TrimSpace(string(data))
+	if !validDigest(d) {
+		return ""
+	}
+	return d
+}
+
+// ReadRecording loads the complete recording bytes a job produced.
+// Prefer OpenRecordingByJob for large artifacts — this materializes the
+// whole recording in memory.
+func (s *Store) ReadRecording(id string) ([]byte, error) {
+	h, err := s.OpenRecordingByJob(id)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	data := make([]byte, h.Size())
+	if _, err := h.ReadAt(data, 0); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Pin protects a job's recording (and every chunk it references) from
+// GC until Unpin.
+func (s *Store) Pin(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.WriteJobArtifact(id, "pinned", []byte("pinned\n"))
+}
+
+// Unpin removes a job's pin; missing pins are a no-op.
+func (s *Store) Unpin(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.JobArtifact(id, "pinned"))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Pinned reports whether a job is pinned.
+func (s *Store) Pinned(id string) bool {
+	_, err := os.Stat(s.JobArtifact(id, "pinned"))
+	return err == nil
+}
+
+// jobIDs lists the ids with artifact directories.
+func (s *Store) jobIDs() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	ids := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	return ids, nil
+}
+
+// walkDigests visits every content-addressed file under a namespace,
+// tolerating both sharded and flat layouts.
+func (s *Store) walkDigests(ns string, fn func(digest, path string, size int64) error) error {
+	base := filepath.Join(s.root, ns)
+	ents, err := os.ReadDir(base)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	visit := func(dir string, e os.DirEntry) error {
+		if !validDigest(e.Name()) {
+			return nil
+		}
+		info, err := e.Info()
+		if err != nil {
+			return err
+		}
+		return fn(e.Name(), filepath.Join(dir, e.Name()), info.Size())
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			if err := visit(base, e); err != nil {
+				return err
+			}
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(base, e.Name()))
+		if err != nil {
+			return err
+		}
+		for _, se := range sub {
+			if se.IsDir() {
+				continue
+			}
+			if err := visit(filepath.Join(base, e.Name()), se); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// publishStats recomputes the store gauges and reports them into the
+// registry. Callers hold s.mu or are single-threaded (Open).
+func (s *Store) publishStats() {
+	if s.reg == nil {
+		return
+	}
+	st, err := s.Stats()
+	if err != nil {
+		return
+	}
+	s.reg.Set("store.chunks", float64(st.Chunks))
+	s.reg.Set("store.manifests", float64(st.Manifests))
+	s.reg.Set("store.blobs", float64(st.Blobs))
+	s.reg.Set("store.logical_bytes", float64(st.LogicalBytes))
+	s.reg.Set("store.stored_bytes", float64(st.StoredBytes))
+	s.reg.Set("store.dedup_ratio", st.DedupRatio)
+}

@@ -1,0 +1,350 @@
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"doubleplay/internal/dplog"
+	"doubleplay/internal/store"
+	"doubleplay/internal/vm"
+)
+
+func open(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// testRecording builds a deterministic recording whose syscall groups
+// are sizeable and identical across "seeds" while the boundary hashes
+// and schedules differ — the shape chunk dedup exists for.
+func testRecording(seed uint64, epochs int) *dplog.Recording {
+	rec := &dplog.Recording{
+		Program: "storetest", Workers: 2, Seed: int64(seed),
+		FinalHash: 0xabc ^ seed, OutputHash: 0xdef, Quantum: 250,
+	}
+	for i := 0; i < epochs; i++ {
+		ep := &dplog.EpochLog{
+			Index:      i,
+			StartHash:  seed*1000 + uint64(i),
+			EndHash:    seed*1000 + uint64(i) + 1,
+			CommitHash: seed*2000 + uint64(i),
+			Targets:    []uint64{uint64(250 * (i + 1))},
+			Schedule:   []dplog.Slice{{Tid: int(seed) % 2, N: 100 + uint64(i)}, {Tid: 1, N: 150}},
+		}
+		for k := 0; k < 8; k++ {
+			sys := dplog.SyscallRecord{Tid: k % 2, Num: int64(7 + i), Ret: int64(k)}
+			sys.Args = [6]vm.Word{1, 2, 3, int64(i), int64(k), 6}
+			sys.Writes = []vm.MemWrite{{Addr: int64(4096 + 8*k), Data: []vm.Word{int64(i), int64(k), 3}}}
+			ep.Syscalls = append(ep.Syscalls, sys)
+		}
+		for k := 0; k < 6; k++ {
+			ep.SyncOrder = append(ep.SyncOrder, dplog.SyncRecord{Tid: k % 2, Kind: vm.ObjLock, ID: int64(9 + i)})
+		}
+		rec.Epochs = append(rec.Epochs, ep)
+	}
+	return rec
+}
+
+func encode(rec *dplog.Recording) []byte {
+	return dplog.MarshalBytesWith(rec, dplog.EncodeOptions{Compress: false})
+}
+
+func TestBlobRoundTripSharded(t *testing.T) {
+	s := open(t)
+	data := []byte("hello artifact store")
+	d, err := s.PutBlob(data)
+	if err != nil {
+		t.Fatalf("PutBlob: %v", err)
+	}
+	got, err := s.ReadBlob(d)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("ReadBlob: %q, %v", got, err)
+	}
+	// The blob must live in its shard directory: blobs/<aa>/sha256-aa...
+	shard := d[len("sha256-") : len("sha256-")+2]
+	want := filepath.Join(s.Root(), "blobs", shard, d)
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("blob not at sharded path %s: %v", want, err)
+	}
+	// Idempotent re-put.
+	if d2, err := s.PutBlob(data); err != nil || d2 != d {
+		t.Fatalf("re-put: %s, %v", d2, err)
+	}
+	if _, err := s.ReadBlob("sha256-zz"); err == nil {
+		t.Fatal("ReadBlob accepted an invalid digest")
+	}
+}
+
+func TestFlatLayoutMigration(t *testing.T) {
+	root := t.TempDir()
+	// Seed a pre-sharding layout by hand: blobs/sha256-<hex> at top level.
+	data := []byte("legacy layout blob")
+	d := store.Digest(data)
+	if err := os.MkdirAll(filepath.Join(root, "blobs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "blobs", d), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.Open(root, nil)
+	if err != nil {
+		t.Fatalf("Open over flat layout: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "blobs", d)); !os.IsNotExist(err) {
+		t.Fatalf("flat blob still present after migration (err=%v)", err)
+	}
+	got, err := s.ReadBlob(d)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("migrated blob unreadable: %q, %v", got, err)
+	}
+}
+
+// TestParallelPutBlob exercises the Stat-then-write race: many
+// goroutines putting the same content must all succeed and leave one
+// intact blob (rename-over semantics).
+func TestParallelPutBlob(t *testing.T) {
+	s := open(t)
+	data := bytes.Repeat([]byte("same content every writer "), 64)
+	want := store.Digest(data)
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d, err := s.PutBlob(data)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if d != want {
+				errs <- fmt.Errorf("digest %s, want %s", d, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("parallel PutBlob: %v", err)
+	}
+	got, err := s.ReadBlob(want)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("blob damaged after parallel puts: %v", err)
+	}
+}
+
+func TestPutRecordingDedupsAcrossSeeds(t *testing.T) {
+	s := open(t)
+	a := encode(testRecording(1, 6))
+	b := encode(testRecording(2, 6))
+	da, err := s.PutRecording(a)
+	if err != nil {
+		t.Fatalf("PutRecording a: %v", err)
+	}
+	db, err := s.PutRecording(b)
+	if err != nil {
+		t.Fatalf("PutRecording b: %v", err)
+	}
+	if da == db {
+		t.Fatal("different recordings got one digest")
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Manifests != 2 {
+		t.Fatalf("manifests = %d, want 2", st.Manifests)
+	}
+	if st.LogicalBytes != int64(len(a)+len(b)) {
+		t.Fatalf("logical bytes = %d, want %d", st.LogicalBytes, len(a)+len(b))
+	}
+	if st.DedupSavedBytes <= 0 {
+		t.Fatalf("same-workload different-seed recordings shared nothing (saved=%d, unique=%d)",
+			st.DedupSavedBytes, st.UniqueRawBytes)
+	}
+	if st.DedupRatio <= 1 {
+		t.Fatalf("dedup ratio %v, want > 1", st.DedupRatio)
+	}
+	// Idempotent re-put takes the manifest fast path.
+	if d2, err := s.PutRecording(a); err != nil || d2 != da {
+		t.Fatalf("re-put: %s, %v", d2, err)
+	}
+}
+
+func TestOpenRecordingReassemblesExactly(t *testing.T) {
+	s := open(t)
+	data := encode(testRecording(7, 5))
+	d, err := s.PutRecording(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.OpenRecording(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d, want %d", h.Size(), len(data))
+	}
+	// Full sequential read.
+	got := make([]byte, len(data))
+	if _, err := h.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatalf("ReadAt full: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reassembled recording differs from the original")
+	}
+	// Strided reads at awkward offsets, spanning chunk boundaries.
+	for _, tc := range []struct{ off, n int }{
+		{0, 1}, {1, 7}, {len(data) / 3, 1000}, {len(data) - 5, 5}, {len(data) / 2, len(data) / 2},
+	} {
+		n := tc.n
+		if tc.off+n > len(data) {
+			n = len(data) - tc.off
+		}
+		buf := make([]byte, n)
+		if _, err := h.ReadAt(buf, int64(tc.off)); err != nil && err != io.EOF {
+			t.Fatalf("ReadAt(%d,%d): %v", tc.off, tc.n, err)
+		}
+		if !bytes.Equal(buf, data[tc.off:tc.off+n]) {
+			t.Fatalf("ReadAt(%d,%d) returned wrong bytes", tc.off, tc.n)
+		}
+	}
+	// Past-the-end read.
+	if _, err := h.ReadAt(make([]byte, 4), int64(len(data))); err != io.EOF {
+		t.Fatalf("read past end: err = %v, want EOF", err)
+	}
+	// The chunked handle composes with the dplog reader: every epoch
+	// decodes identically to the in-memory path.
+	rd, err := dplog.OpenReader(h, h.Size())
+	if err != nil {
+		t.Fatalf("OpenReader over handle: %v", err)
+	}
+	mem, err := dplog.OpenReaderBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.NumSections() != mem.NumSections() {
+		t.Fatalf("sections %d vs %d", rd.NumSections(), mem.NumSections())
+	}
+	var a, b bytes.Buffer
+	if err := rd.WriteRange(&a, 1, 3); err != nil {
+		t.Fatalf("WriteRange over handle: %v", err)
+	}
+	if err := mem.WriteRange(&b, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("epoch-range extraction through the chunked handle differs from the in-memory path")
+	}
+}
+
+func TestOpenRecordingWholeBlobFallback(t *testing.T) {
+	s := open(t)
+	// A legacy (v5) artifact exposes no chunk layout; PutRecording must
+	// fall back to one whole blob, and OpenRecording must serve it.
+	rec := testRecording(3, 2)
+	data := dplog.MarshalBytes(rec)
+	trunc := data[:len(data)-3] // corrupt: not even a readable v6 log
+	d, err := s.PutRecording(trunc)
+	if err != nil {
+		t.Fatalf("PutRecording fallback: %v", err)
+	}
+	h, err := s.OpenRecording(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	got := make([]byte, h.Size())
+	if _, err := h.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, trunc) {
+		t.Fatal("whole-blob handle returned wrong bytes")
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blobs != 1 || st.Manifests != 0 {
+		t.Fatalf("fallback stored blobs=%d manifests=%d, want 1/0", st.Blobs, st.Manifests)
+	}
+}
+
+func TestRecordingRefRoundTrip(t *testing.T) {
+	s := open(t)
+	data := encode(testRecording(4, 3))
+	d, err := s.PutRecording(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRecordingRef("job1", d); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RecordingRef("job1"); got != d {
+		t.Fatalf("RecordingRef = %q, want %q", got, d)
+	}
+	back, err := s.ReadRecording("job1")
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("ReadRecording: %v", err)
+	}
+	if s.RecordingRef("nope") != "" {
+		t.Fatal("ref for unknown job")
+	}
+	if !s.HasRecording(d) {
+		t.Fatal("HasRecording(d) = false")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &store.Manifest{Total: 100}
+	m.Chunks = []store.ManifestChunk{
+		{Digest: store.Digest([]byte("a")), Len: 30, Kind: 1},
+		{Digest: store.Digest([]byte("b")), Len: 50, Kind: 2},
+		{Digest: store.Digest([]byte("a")), Len: 20, Kind: 3},
+	}
+	enc := m.Encode()
+	got, err := store.DecodeManifest(enc)
+	if err != nil {
+		t.Fatalf("DecodeManifest: %v", err)
+	}
+	if got.Total != m.Total || len(got.Chunks) != len(m.Chunks) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range m.Chunks {
+		if got.Chunks[i] != m.Chunks[i] {
+			t.Fatalf("chunk %d: %+v != %+v", i, got.Chunks[i], m.Chunks[i])
+		}
+	}
+	// Corruptions must fail cleanly, never panic.
+	for _, mut := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"magic", append([]byte("XXXX"), enc[4:]...)},
+		{"truncated", enc[:len(enc)-6]},
+		{"bitflip", flip(enc, len(enc)/2)},
+		{"crc", flip(enc, len(enc)-1)},
+	} {
+		if _, err := store.DecodeManifest(mut.data); err == nil {
+			t.Fatalf("%s: corrupt manifest decoded", mut.name)
+		}
+	}
+}
+
+func flip(b []byte, i int) []byte {
+	out := bytes.Clone(b)
+	out[i] ^= 0x40
+	return out
+}
